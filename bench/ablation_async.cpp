@@ -1,0 +1,120 @@
+// Ablation for §5.3: synchronous vs asynchronous SkipTrain under
+// heterogeneous device speeds. The synchronous engine's wall-clock per
+// round is gated by the slowest device (the Poco X3 takes ~2.6x the Nord's
+// time), while the asynchronous engine lets fast devices keep cycling.
+// Compares test accuracy at equal simulated wall-clock.
+#include "common.hpp"
+
+#include "graph/topology.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace skiptrain;
+  util::ArgParser args("ablation_async",
+                       "sync vs async SkipTrain under heterogeneous speeds");
+  bench::add_common_flags(args, /*default_nodes=*/32, /*default_rounds=*/160);
+  args.add_int("degree", 6, "topology degree");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Ablation (§5.3): synchronous vs asynchronous SkipTrain",
+      "equal simulated wall-clock; stragglers gate the sync engine");
+
+  const bench::Workbench wb = bench::make_cifar_bench(args);
+  const sim::RunOptions base = bench::options_from_flags(args, wb);
+  const auto degree = static_cast<std::size_t>(args.get_int("degree"));
+  const std::size_t n = wb.data.num_nodes();
+
+  // Device-speed heterogeneity from the traces: per-round training time.
+  const energy::Fleet fleet = energy::Fleet::even(n, wb.workload);
+  const auto& spec = energy::workload_spec(wb.workload);
+  std::vector<double> train_seconds(n);
+  double slowest = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    train_seconds[i] = fleet.device(i).profile.training_round_seconds(spec);
+    slowest = std::max(slowest, train_seconds[i]);
+  }
+
+  util::Rng topo_rng(util::hash_combine(base.seed, 0x70700000ULL));
+  const graph::Topology topology =
+      graph::make_random_regular(n, degree, topo_rng);
+  const graph::MixingMatrix mixing =
+      graph::MixingMatrix::metropolis_hastings(topology);
+  const auto [gamma_train, gamma_sync] = bench::tuned_gammas(degree);
+  const core::SkipTrainScheduler scheduler(gamma_train, gamma_sync);
+
+  const auto make_accountant = [&] {
+    std::vector<std::size_t> degrees(n);
+    for (std::size_t i = 0; i < n; ++i) degrees[i] = topology.degree(i);
+    return energy::EnergyAccountant(fleet, energy::CommModel{},
+                                    spec.model_params, std::move(degrees));
+  };
+
+  const metrics::Evaluator evaluator(&wb.data.test, base.eval_max_samples);
+  const auto fleet_accuracy = [&](auto& engine) {
+    std::vector<nn::Sequential*> models(n);
+    for (std::size_t i = 0; i < n; ++i) models[i] = &engine.model(i);
+    return evaluator.evaluate_fleet(models).accuracy.mean;
+  };
+
+  // --- Synchronous: every round waits for the slowest trainer. ---
+  sim::EngineConfig sync_config;
+  sync_config.local_steps = base.local_steps;
+  sync_config.batch_size = base.batch_size;
+  sync_config.learning_rate = base.learning_rate;
+  sync_config.seed = base.seed;
+  sim::RoundEngine sync_engine(wb.model, wb.data, mixing, scheduler,
+                               make_accountant(), sync_config);
+  const double sync_duration_factor = 0.05;
+  double sync_clock = 0.0;
+  for (std::size_t t = 1; t <= base.total_rounds; ++t) {
+    const auto outcome = sync_engine.run_round();
+    sync_clock += (outcome.kind == core::RoundKind::kTraining)
+                      ? slowest
+                      : slowest * sync_duration_factor;
+  }
+  const double sync_acc = fleet_accuracy(sync_engine);
+
+  // --- Asynchronous: same wall-clock horizon, no barrier. ---
+  sim::AsyncConfig async_config;
+  async_config.local_steps = base.local_steps;
+  async_config.batch_size = base.batch_size;
+  async_config.learning_rate = base.learning_rate;
+  async_config.seed = base.seed;
+  async_config.sync_duration_factor = sync_duration_factor;
+  sim::AsyncGossipEngine async_engine(wb.model, wb.data, topology, scheduler,
+                                      make_accountant(), train_seconds,
+                                      async_config);
+  async_engine.run_until(sync_clock);
+  const double async_acc = fleet_accuracy(async_engine);
+
+  std::size_t async_trainings = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    async_trainings += async_engine.accountant().training_rounds_executed(i);
+  }
+
+  util::TablePrinter table({"engine", "wall-clock s", "trainings",
+                            "train energy Wh", "test acc%"});
+  table.add_row({"synchronous", util::fixed(sync_clock, 1),
+                 std::to_string(base.total_rounds / 2 * n),
+                 util::fixed(sync_engine.accountant().total_training_wh(), 3),
+                 util::fixed(100.0 * sync_acc, 2)});
+  table.add_row({"asynchronous", util::fixed(async_engine.now(), 1),
+                 std::to_string(async_trainings),
+                 util::fixed(async_engine.accountant().total_training_wh(), 3),
+                 util::fixed(100.0 * async_acc, 2)});
+  table.print();
+
+  std::printf("\ndevice speeds (s/training round): fastest %.2f, slowest "
+              "%.2f (%.1fx spread)\n",
+              *std::min_element(train_seconds.begin(), train_seconds.end()),
+              slowest,
+              slowest / *std::min_element(train_seconds.begin(),
+                                          train_seconds.end()));
+  std::printf("\nexpected: at equal wall-clock the async engine executes "
+              "more training (fast devices are not gated by the Poco X3) "
+              "and reaches at least comparable accuracy — the §5.3 "
+              "practicality argument.\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Google-benchmark micro benches for the substrate hot paths: GEMM, the
+// decentralized aggregation step, a full engine round, topology/mixing
+// construction, and evaluation. These quantify what a simulated round
+// costs and where the wall-clock goes.
+#include <benchmark/benchmark.h>
+
+#include "core/skiptrain.hpp"
+
+namespace {
+
+using namespace skiptrain;
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 64, n = 32;
+  std::vector<float> a(m * k), b(n * k), c(m * n);
+  util::Rng rng(1);
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    tensor::gemm_nt(m, k, n, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * k * n));
+}
+BENCHMARK(BM_GemmNT)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AggregationStep(benchmark::State& state) {
+  // One node's Metropolis-Hastings aggregation over `degree` neighbors
+  // with a compact-model-sized parameter vector.
+  const auto degree = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 2752;  // compact CIFAR MLP parameter count
+  std::vector<std::vector<float>> neighbors(degree + 1,
+                                            std::vector<float>(dim));
+  util::Rng rng(2);
+  for (auto& v : neighbors) rng.fill_normal(v, 0.0f, 1.0f);
+  std::vector<float> out(dim);
+  const float w = 1.0f / static_cast<float>(degree + 1);
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    for (const auto& neighbor : neighbors) {
+      tensor::axpy(w, neighbor, out);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * (degree + 1)));
+}
+BENCHMARK(BM_AggregationStep)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_LocalSgdStep(benchmark::State& state) {
+  data::CifarSynConfig config;
+  config.nodes = 1;
+  config.samples_per_node = 128;
+  config.test_pool = 10;
+  auto dataset = data::make_cifar_synthetic(config);
+  auto model = nn::make_compact_cifar_model(config.feature_dim);
+  util::Rng rng(3);
+  nn::initialize(model, rng);
+  sim::Node node(0, model, dataset.node_view(0), nn::SgdOptions{0.1f}, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.train_local(1, 16));
+  }
+}
+BENCHMARK(BM_LocalSgdStep);
+
+void BM_FullRound(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  data::CifarSynConfig config;
+  config.nodes = nodes;
+  config.samples_per_node = 40;
+  config.test_pool = 10;
+  auto dataset = data::make_cifar_synthetic(config);
+  auto model = nn::make_compact_cifar_model(config.feature_dim);
+  util::Rng rng(4);
+  nn::initialize(model, rng);
+
+  util::Rng topo_rng(5);
+  const auto topology = graph::make_random_regular(nodes, 6, topo_rng);
+  const auto mixing = graph::MixingMatrix::metropolis_hastings(topology);
+  const core::DpsgdScheduler scheduler;
+  const auto fleet = energy::Fleet::even(nodes, energy::Workload::kCifar10);
+  std::vector<std::size_t> degrees(nodes, 6);
+  energy::EnergyAccountant accountant(fleet, energy::CommModel{}, 89834,
+                                      std::move(degrees));
+  sim::EngineConfig engine_config;
+  engine_config.local_steps = 5;
+  engine_config.batch_size = 16;
+  sim::RoundEngine engine(model, dataset, mixing, scheduler,
+                          std::move(accountant), engine_config);
+  for (auto _ : state) {
+    engine.run_round();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_FullRound)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_TopologyAndMixing(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  for (auto _ : state) {
+    const auto topology = graph::make_random_regular(nodes, 6, rng);
+    const auto mixing = graph::MixingMatrix::metropolis_hastings(topology);
+    benchmark::DoNotOptimize(mixing.num_nodes());
+  }
+}
+BENCHMARK(BM_TopologyAndMixing)->Arg(64)->Arg(256);
+
+void BM_SpectralGap(benchmark::State& state) {
+  util::Rng rng(7);
+  const auto topology = graph::make_random_regular(
+      static_cast<std::size_t>(state.range(0)), 6, rng);
+  const auto mixing = graph::MixingMatrix::metropolis_hastings(topology);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixing.spectral_gap(100));
+  }
+}
+BENCHMARK(BM_SpectralGap)->Arg(64)->Arg(256);
+
+void BM_Evaluation(benchmark::State& state) {
+  data::CifarSynConfig config;
+  config.nodes = 2;
+  config.samples_per_node = 40;
+  config.test_pool = 1200;
+  auto dataset = data::make_cifar_synthetic(config);
+  auto model = nn::make_compact_cifar_model(config.feature_dim);
+  util::Rng rng(8);
+  nn::initialize(model, rng);
+  const metrics::Evaluator evaluator(&dataset.test, 600);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(model).accuracy);
+  }
+}
+BENCHMARK(BM_Evaluation);
+
+void BM_ShardPartition(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::int32_t> labels(nodes * 200);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<std::int32_t>(i % 10);
+  }
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::shard_partition(labels, nodes, 2, rng));
+  }
+}
+BENCHMARK(BM_ShardPartition)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

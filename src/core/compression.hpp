@@ -1,0 +1,72 @@
+// Sparsified model exchange (related-work axis, paper §6: Sparse-Push,
+// Alistarh et al., Dhasade et al. "Get More for Less").
+//
+// Instead of the full parameter vector, a node broadcasts only its top-k
+// coordinates by magnitude. A receiver treats the missing coordinates as
+// "no update from this neighbor" — i.e. it substitutes its own values —
+// which turns the Metropolis-Hastings aggregation into
+//
+//   x_i ← x_i + Σ_j W_ij · Σ_{c ∈ topk(x_j)} (x_j[c] − x_i[c]) e_c .
+//
+// With k = dim this is exactly the dense aggregation; with k << dim the
+// wire volume drops to ~2k/dim of the dense exchange (index + value per
+// coordinate). The ablation bench measures the accuracy cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace skiptrain::core {
+
+/// A sparsified model message: parallel (coordinate, value) arrays sorted
+/// by coordinate, plus the dense dimension for validation.
+struct SparseModel {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+  std::size_t dim = 0;
+
+  std::size_t nnz() const { return indices.size(); }
+
+  /// Bytes on the wire: 4 per index + 4 per value.
+  std::size_t wire_bytes() const { return nnz() * 8; }
+};
+
+/// Selects the k largest-magnitude coordinates of `params` (all of them
+/// when k >= dim). Deterministic: magnitude ties resolve to the lower
+/// coordinate.
+[[nodiscard]] SparseModel sparsify_topk(std::span<const float> params,
+                                        std::size_t k);
+
+/// Effective parameter count for the energy model: a sparse message of k
+/// coordinates costs the same bytes as 2k dense parameters.
+[[nodiscard]] std::size_t effective_params(const SparseModel& message);
+
+/// Applies `weight * (message − base)` onto `out` at the message's
+/// coordinates: the incremental form of sparse aggregation derived above.
+/// `base` and `out` may alias.
+void accumulate_sparse_difference(const SparseModel& message,
+                                  std::span<const float> base,
+                                  std::span<float> out, float weight);
+
+/// Round-shared random coordinate mask: k distinct coordinates of [0, dim)
+/// drawn deterministically from (seed, round), identical across nodes.
+///
+/// Why not per-node magnitude top-k? Sparsifying the RAW parameter vector
+/// by magnitude keeps re-sending the same large weights and never mixes
+/// the small ones, so the unsent coordinates drift apart and accuracy
+/// collapses (measured in bench/ablation_compression). A mask shared by
+/// all nodes in a round costs no index transmission (everyone derives it
+/// from the seed), touches every coordinate with equal frequency over
+/// time, and degrades gracefully as k shrinks. Returned sorted.
+[[nodiscard]] std::vector<std::uint32_t> shared_round_mask(
+    std::uint64_t seed, std::size_t round, std::size_t dim, std::size_t k);
+
+/// Sparse aggregation over an explicit mask:
+/// out[c] += weight * (theirs[c] - base[c]) for every c in mask.
+void accumulate_masked_difference(std::span<const std::uint32_t> mask,
+                                  std::span<const float> theirs,
+                                  std::span<const float> base,
+                                  std::span<float> out, float weight);
+
+}  // namespace skiptrain::core

@@ -1,0 +1,41 @@
+#include "core/equations.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace skiptrain::core {
+
+double expected_training_rounds(std::size_t gamma_train,
+                                std::size_t gamma_sync,
+                                std::size_t total_rounds) {
+  if (gamma_train == 0) {
+    throw std::invalid_argument("expected_training_rounds: Γtrain must be > 0");
+  }
+  const double cycle = static_cast<double>(gamma_train + gamma_sync);
+  return static_cast<double>(gamma_train) / cycle *
+         static_cast<double>(total_rounds);
+}
+
+std::size_t count_training_rounds(std::size_t gamma_train,
+                                  std::size_t gamma_sync,
+                                  std::size_t total_rounds) {
+  if (gamma_train == 0) {
+    throw std::invalid_argument("count_training_rounds: Γtrain must be > 0");
+  }
+  const std::size_t cycle = gamma_train + gamma_sync;
+  const std::size_t full_cycles = total_rounds / cycle;
+  std::size_t count = full_cycles * gamma_train;
+  // Remaining rounds t = full_cycles*cycle + 1 .. total_rounds; Algorithm 2
+  // trains when t mod cycle < Γtrain, i.e. residues 0..Γtrain-1.
+  for (std::size_t t = full_cycles * cycle + 1; t <= total_rounds; ++t) {
+    if (t % cycle < gamma_train) ++count;
+  }
+  return count;
+}
+
+double training_probability(std::size_t budget_rounds, double t_train) {
+  if (t_train <= 0.0) return 1.0;
+  return std::min(static_cast<double>(budget_rounds) / t_train, 1.0);
+}
+
+}  // namespace skiptrain::core

@@ -1,0 +1,30 @@
+// The closed-form quantities of the SkipTrain paper (Eq. 4 and Eq. 5).
+#pragma once
+
+#include <cstddef>
+
+namespace skiptrain::core {
+
+/// Eq. 4: the maximum number of coordinated training rounds executed by
+/// SkipTrain over T total rounds,
+///   T_train = Γtrain / (Γtrain + Γsync) · T.
+/// Returned as a double; callers that need an integer round count should
+/// pair this with count_training_rounds() below, which counts the actual
+/// schedule (the two agree up to the partial final cycle).
+[[nodiscard]] double expected_training_rounds(std::size_t gamma_train,
+                                              std::size_t gamma_sync,
+                                              std::size_t total_rounds);
+
+/// Exact number of rounds t in [1, T] satisfying Algorithm 2's predicate
+/// `t mod (Γtrain + Γsync) < Γtrain`.
+[[nodiscard]] std::size_t count_training_rounds(std::size_t gamma_train,
+                                                std::size_t gamma_sync,
+                                                std::size_t total_rounds);
+
+/// Eq. 5: the training probability of node i,
+///   p_i = min(τ_i / T_train, 1),
+/// with the convention p = 1 when T_train == 0.
+[[nodiscard]] double training_probability(std::size_t budget_rounds,
+                                          double t_train);
+
+}  // namespace skiptrain::core

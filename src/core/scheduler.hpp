@@ -1,0 +1,128 @@
+// Round schedulers — the heart of SkipTrain.
+//
+// Every algorithm in the paper fits one execution skeleton (Algorithm 2):
+// in round t each node optionally performs E local SGD steps, then always
+// shares its model and aggregates with its neighbors. A RoundScheduler
+// decides the optional part:
+//
+//   * the coordinated round kind (train vs. synchronization), identical
+//     across nodes — SkipTrain's Γtrain/Γsync alternation (Fig. 2b);
+//   * the per-node participation decision — SkipTrain-constrained's
+//     probabilistic skip driven by the node's energy budget (Fig. 2c).
+//
+// Determinism contract: should_train(t, node, budget) must be a pure
+// function of its arguments and the scheduler's construction parameters
+// (probabilistic schedulers use counter-based RNG keyed by (seed, node,
+// t)), so simulations replay identically across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace skiptrain::core {
+
+enum class RoundKind {
+  kTraining,         // train + share + aggregate
+  kSynchronization,  // share + aggregate only
+};
+
+class RoundScheduler {
+ public:
+  virtual ~RoundScheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Coordinated kind of round t (1-based, matching Algorithm 2).
+  virtual RoundKind round_kind(std::size_t t) const = 0;
+
+  /// Whether node `node` performs the local model update in round t.
+  /// `remaining_budget` is the node's τ_i^t (trainings left before its
+  /// battery allowance is gone); unconstrained schedulers may ignore it.
+  virtual bool should_train(std::size_t t, std::size_t node,
+                            std::size_t remaining_budget) const = 0;
+
+  /// True when the scheduler consumes per-node energy budgets (the engine
+  /// then enforces τ accounting strictly).
+  virtual bool is_budget_aware() const { return false; }
+};
+
+/// D-PSGD (Lian et al. 2017, Algorithm 1): every round trains.
+class DpsgdScheduler final : public RoundScheduler {
+ public:
+  std::string name() const override { return "D-PSGD"; }
+  RoundKind round_kind(std::size_t) const override {
+    return RoundKind::kTraining;
+  }
+  bool should_train(std::size_t, std::size_t, std::size_t) const override {
+    return true;
+  }
+};
+
+/// SkipTrain (§3.1): alternates Γtrain coordinated training rounds with
+/// Γsync coordinated synchronization rounds; every node trains in every
+/// training round (p_i = 1).
+class SkipTrainScheduler : public RoundScheduler {
+ public:
+  SkipTrainScheduler(std::size_t gamma_train, std::size_t gamma_sync);
+
+  std::string name() const override;
+  RoundKind round_kind(std::size_t t) const override;
+  bool should_train(std::size_t t, std::size_t node,
+                    std::size_t remaining_budget) const override;
+
+  std::size_t gamma_train() const { return gamma_train_; }
+  std::size_t gamma_sync() const { return gamma_sync_; }
+
+ private:
+  std::size_t gamma_train_;
+  std::size_t gamma_sync_;
+};
+
+/// SkipTrain-constrained (§3.2, Algorithm 2): on top of the coordinated
+/// Γ-alternation, node i participates in a training round with probability
+/// p_i = min(τ_i / T_train, 1) (Eq. 5) while its budget lasts.
+class SkipTrainConstrainedScheduler final : public SkipTrainScheduler {
+ public:
+  /// `budgets[i]` = τ_i; `total_rounds` = T (to evaluate Eq. 4).
+  SkipTrainConstrainedScheduler(std::size_t gamma_train,
+                                std::size_t gamma_sync,
+                                std::size_t total_rounds,
+                                std::vector<std::size_t> budgets,
+                                std::uint64_t seed);
+
+  std::string name() const override { return "SkipTrain-constrained"; }
+  bool should_train(std::size_t t, std::size_t node,
+                    std::size_t remaining_budget) const override;
+  bool is_budget_aware() const override { return true; }
+
+  double probability(std::size_t node) const;
+
+ private:
+  std::vector<double> probabilities_;
+  std::uint64_t seed_;
+};
+
+/// Greedy baseline (§3.2): trains every round until the node's budget is
+/// exhausted, then switches to synchronization-only forever.
+class GreedyScheduler final : public RoundScheduler {
+ public:
+  std::string name() const override { return "Greedy"; }
+  RoundKind round_kind(std::size_t) const override {
+    return RoundKind::kTraining;
+  }
+  bool should_train(std::size_t, std::size_t,
+                    std::size_t remaining_budget) const override {
+    return remaining_budget > 0;
+  }
+  bool is_budget_aware() const override { return true; }
+};
+
+/// Utility: fraction of rounds in [1, T] that are coordinated training
+/// rounds under a scheduler (1.0 for D-PSGD / Greedy).
+double training_round_fraction(const RoundScheduler& scheduler,
+                               std::size_t total_rounds);
+
+}  // namespace skiptrain::core

@@ -1,0 +1,79 @@
+#include "core/scheduler.hpp"
+
+#include <stdexcept>
+
+#include "core/equations.hpp"
+#include "util/rng.hpp"
+
+namespace skiptrain::core {
+
+SkipTrainScheduler::SkipTrainScheduler(std::size_t gamma_train,
+                                       std::size_t gamma_sync)
+    : gamma_train_(gamma_train), gamma_sync_(gamma_sync) {
+  if (gamma_train_ == 0) {
+    throw std::invalid_argument("SkipTrain: Γtrain must be > 0");
+  }
+  if (gamma_sync_ == 0) {
+    throw std::invalid_argument(
+        "SkipTrain: Γsync must be > 0 (use D-PSGD for Γsync = 0)");
+  }
+}
+
+std::string SkipTrainScheduler::name() const {
+  return "SkipTrain(Γtrain=" + std::to_string(gamma_train_) +
+         ", Γsync=" + std::to_string(gamma_sync_) + ")";
+}
+
+RoundKind SkipTrainScheduler::round_kind(std::size_t t) const {
+  // Algorithm 2, line 5: train iff t mod (Γtrain + Γsync) < Γtrain, with
+  // rounds numbered from 1.
+  const std::size_t cycle = gamma_train_ + gamma_sync_;
+  return (t % cycle) < gamma_train_ ? RoundKind::kTraining
+                                    : RoundKind::kSynchronization;
+}
+
+bool SkipTrainScheduler::should_train(std::size_t t, std::size_t node,
+                                      std::size_t remaining_budget) const {
+  (void)node;
+  (void)remaining_budget;
+  return round_kind(t) == RoundKind::kTraining;
+}
+
+SkipTrainConstrainedScheduler::SkipTrainConstrainedScheduler(
+    std::size_t gamma_train, std::size_t gamma_sync, std::size_t total_rounds,
+    std::vector<std::size_t> budgets, std::uint64_t seed)
+    : SkipTrainScheduler(gamma_train, gamma_sync), seed_(seed) {
+  const double t_train =
+      expected_training_rounds(gamma_train, gamma_sync, total_rounds);
+  probabilities_.reserve(budgets.size());
+  for (const std::size_t tau : budgets) {
+    probabilities_.push_back(training_probability(tau, t_train));
+  }
+}
+
+bool SkipTrainConstrainedScheduler::should_train(
+    std::size_t t, std::size_t node, std::size_t remaining_budget) const {
+  if (round_kind(t) != RoundKind::kTraining) return false;
+  if (remaining_budget == 0) return false;  // τ_i^t > 0 (Algorithm 2, line 5)
+  // Algorithm 2, lines 6-7: r ~ U[0,1], train iff r <= p_i. The draw is
+  // counter-based on (seed, node, t) so it is independent of execution
+  // order and thread count.
+  const double r = util::stateless_uniform(seed_, node, t);
+  return r <= probabilities_[node];
+}
+
+double SkipTrainConstrainedScheduler::probability(std::size_t node) const {
+  return probabilities_.at(node);
+}
+
+double training_round_fraction(const RoundScheduler& scheduler,
+                               std::size_t total_rounds) {
+  if (total_rounds == 0) return 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 1; t <= total_rounds; ++t) {
+    if (scheduler.round_kind(t) == RoundKind::kTraining) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(total_rounds);
+}
+
+}  // namespace skiptrain::core

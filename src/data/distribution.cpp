@@ -1,0 +1,102 @@
+#include "data/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace skiptrain::data {
+
+ClassCounts class_distribution(const FederatedData& data) {
+  ClassCounts counts(data.num_nodes(),
+                     std::vector<std::size_t>(data.train.num_classes, 0));
+  for (std::size_t node = 0; node < data.num_nodes(); ++node) {
+    for (const std::size_t idx : data.node_indices[node]) {
+      ++counts[node][static_cast<std::size_t>(data.train.labels[idx])];
+    }
+  }
+  return counts;
+}
+
+std::vector<std::size_t> distinct_classes_per_node(const ClassCounts& counts) {
+  std::vector<std::size_t> distinct(counts.size(), 0);
+  for (std::size_t node = 0; node < counts.size(); ++node) {
+    for (const std::size_t c : counts[node]) {
+      if (c > 0) ++distinct[node];
+    }
+  }
+  return distinct;
+}
+
+double heterogeneity_index(const ClassCounts& counts) {
+  if (counts.empty()) return 0.0;
+  const std::size_t classes = counts[0].size();
+
+  // Global label distribution.
+  std::vector<double> global(classes, 0.0);
+  double total = 0.0;
+  for (const auto& node : counts) {
+    for (std::size_t c = 0; c < classes; ++c) {
+      global[c] += static_cast<double>(node[c]);
+      total += static_cast<double>(node[c]);
+    }
+  }
+  if (total == 0.0) return 0.0;
+  for (auto& g : global) g /= total;
+
+  double sum_tv = 0.0;
+  std::size_t populated_nodes = 0;
+  for (const auto& node : counts) {
+    double node_total = 0.0;
+    for (const std::size_t c : node) node_total += static_cast<double>(c);
+    if (node_total == 0.0) continue;
+    double tv = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      tv += std::abs(static_cast<double>(node[c]) / node_total - global[c]);
+    }
+    sum_tv += 0.5 * tv;
+    ++populated_nodes;
+  }
+  return populated_nodes ? sum_tv / static_cast<double>(populated_nodes) : 0.0;
+}
+
+std::string render_distribution_plot(const ClassCounts& counts,
+                                     std::size_t max_nodes) {
+  if (counts.empty()) return "(empty partition)\n";
+  const std::size_t nodes = std::min(max_nodes, counts.size());
+  const std::size_t classes = counts[0].size();
+
+  std::size_t max_count = 1;
+  for (std::size_t node = 0; node < nodes; ++node) {
+    for (const std::size_t c : counts[node]) max_count = std::max(max_count, c);
+  }
+
+  // Four size buckets mirror the paper's dot sizes.
+  const auto glyph = [&](std::size_t count) -> char {
+    if (count == 0) return ' ';
+    const double frac =
+        static_cast<double>(count) / static_cast<double>(max_count);
+    if (frac > 0.66) return '#';
+    if (frac > 0.33) return '@';
+    if (frac > 0.10) return 'o';
+    return '.';
+  };
+
+  std::ostringstream out;
+  out << "class \\ node ";
+  for (std::size_t node = 0; node < nodes; ++node) {
+    out << node % 10;
+  }
+  out << '\n';
+  for (std::size_t c = 0; c < classes; ++c) {
+    out << (c < 10 ? " " : "") << c << "           ";
+    for (std::size_t node = 0; node < nodes; ++node) {
+      out << glyph(counts[node][c]);
+    }
+    out << '\n';
+  }
+  out << "legend: .=small o=medium @=large #=max (" << max_count
+      << " samples)\n";
+  return out.str();
+}
+
+}  // namespace skiptrain::data

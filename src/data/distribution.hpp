@@ -1,0 +1,33 @@
+// Partition statistics: the quantities behind the paper's Figure 7 (class
+// distribution dot plot) and the §4.7 heterogeneity discussion.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace skiptrain::data {
+
+/// counts[node][class] = number of samples of `class` held by `node`.
+using ClassCounts = std::vector<std::vector<std::size_t>>;
+
+/// Computes the per-node class histogram of a federated workload.
+[[nodiscard]] ClassCounts class_distribution(const FederatedData& data);
+
+/// Number of classes with at least one sample, per node.
+[[nodiscard]] std::vector<std::size_t> distinct_classes_per_node(
+    const ClassCounts& counts);
+
+/// Mean total-variation distance between each node's label distribution and
+/// the global label distribution. 0 = perfectly IID; (the 2-shard CIFAR
+/// split scores far higher than the FEMNIST writer split).
+[[nodiscard]] double heterogeneity_index(const ClassCounts& counts);
+
+/// Renders the Figure 7 dot plot as ASCII art: rows = classes, columns =
+/// nodes, glyph size by sample count (" .o@#"). Limited to `max_nodes`
+/// columns (the paper shows the first 10 nodes).
+[[nodiscard]] std::string render_distribution_plot(const ClassCounts& counts,
+                                                   std::size_t max_nodes = 10);
+
+}  // namespace skiptrain::data

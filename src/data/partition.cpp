@@ -1,0 +1,174 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace skiptrain::data {
+
+Partition shard_partition(std::span<const std::int32_t> labels,
+                          std::size_t nodes, std::size_t shards_per_node,
+                          util::Rng& rng) {
+  if (nodes == 0 || shards_per_node == 0) {
+    throw std::invalid_argument("shard_partition: nodes and shards must be > 0");
+  }
+  const std::size_t n = labels.size();
+  const std::size_t num_shards = nodes * shards_per_node;
+  if (n < num_shards) {
+    throw std::invalid_argument("shard_partition: fewer samples than shards");
+  }
+
+  // Sort indices by label (stable so generator order breaks ties
+  // deterministically).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return labels[a] < labels[b];
+                   });
+
+  // Deal shards to nodes in random order.
+  std::vector<std::size_t> shard_ids(num_shards);
+  std::iota(shard_ids.begin(), shard_ids.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(shard_ids));
+
+  const std::size_t shard_size = n / num_shards;
+  Partition partition(nodes);
+  for (std::size_t node = 0; node < nodes; ++node) {
+    auto& assigned = partition[node];
+    assigned.reserve(shards_per_node * shard_size);
+    for (std::size_t s = 0; s < shards_per_node; ++s) {
+      const std::size_t shard = shard_ids[node * shards_per_node + s];
+      const std::size_t begin = shard * shard_size;
+      // The final shard absorbs the remainder samples.
+      const std::size_t end =
+          (shard == num_shards - 1) ? n : begin + shard_size;
+      for (std::size_t i = begin; i < end; ++i) {
+        assigned.push_back(order[i]);
+      }
+    }
+  }
+  return partition;
+}
+
+Partition iid_partition(std::size_t num_samples, std::size_t nodes,
+                        util::Rng& rng) {
+  if (nodes == 0) throw std::invalid_argument("iid_partition: nodes == 0");
+  std::vector<std::size_t> order(num_samples);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(order));
+
+  Partition partition(nodes);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    partition[i % nodes].push_back(order[i]);
+  }
+  return partition;
+}
+
+/// Draws from Gamma(alpha, 1) via Marsaglia-Tsang (alpha >= 1) with the
+/// boost trick for alpha < 1; enough fidelity for partition sampling.
+double sample_gamma(util::Rng& rng, double alpha) {
+  if (alpha < 1.0) {
+    const double u = std::max(rng.uniform(), 1e-12);
+    return sample_gamma(rng, alpha + 1.0) * std::pow(u, 1.0 / alpha);
+  }
+  const double d = alpha - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(std::max(u, 1e-300)) <
+        0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> dirichlet_weights(util::Rng& rng, double alpha,
+                                      std::size_t n) {
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (auto& w : weights) {
+    w = sample_gamma(rng, alpha);
+    total += w;
+  }
+  for (auto& w : weights) w /= total;
+  return weights;
+}
+
+Partition dirichlet_partition(std::span<const std::int32_t> labels,
+                              std::size_t nodes, double alpha,
+                              util::Rng& rng) {
+  if (nodes == 0) throw std::invalid_argument("dirichlet_partition: nodes == 0");
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("dirichlet_partition: alpha must be > 0");
+  }
+  std::int32_t max_label = -1;
+  for (const auto label : labels) max_label = std::max(max_label, label);
+  const std::size_t classes = static_cast<std::size_t>(max_label) + 1;
+
+  // Group sample indices per class, shuffled for random assignment order.
+  std::vector<std::vector<std::size_t>> by_class(classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  Partition partition(nodes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    auto& pool = by_class[c];
+    rng.shuffle(std::span<std::size_t>(pool));
+
+    // Dirichlet weights for this class across nodes.
+    std::vector<double> weights(nodes);
+    double total = 0.0;
+    for (auto& w : weights) {
+      w = sample_gamma(rng, alpha);
+      total += w;
+    }
+    // Convert to cumulative sample counts.
+    std::size_t assigned = 0;
+    for (std::size_t node = 0; node < nodes; ++node) {
+      const auto take = (node == nodes - 1)
+                            ? pool.size() - assigned
+                            : static_cast<std::size_t>(
+                                  std::round(weights[node] / total *
+                                             static_cast<double>(pool.size())));
+      const std::size_t end = std::min(assigned + take, pool.size());
+      for (std::size_t i = assigned; i < end; ++i) {
+        partition[node].push_back(pool[i]);
+      }
+      assigned = end;
+    }
+  }
+  return partition;
+}
+
+void validate_partition(const Partition& partition, std::size_t num_samples) {
+  std::vector<bool> seen(num_samples, false);
+  std::size_t total = 0;
+  for (const auto& node : partition) {
+    for (const std::size_t idx : node) {
+      if (idx >= num_samples) {
+        throw std::runtime_error("validate_partition: index out of range");
+      }
+      if (seen[idx]) {
+        throw std::runtime_error("validate_partition: duplicate sample " +
+                                 std::to_string(idx));
+      }
+      seen[idx] = true;
+      ++total;
+    }
+  }
+  if (total != num_samples) {
+    throw std::runtime_error("validate_partition: " +
+                             std::to_string(num_samples - total) +
+                             " samples unassigned");
+  }
+}
+
+}  // namespace skiptrain::data

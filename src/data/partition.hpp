@@ -1,0 +1,52 @@
+// Data partitioners mapping a training set onto n nodes.
+//
+// The paper uses two schemes:
+//  * CIFAR-10: the 2-shard label-sorted partition of McMahan et al. —
+//    samples are sorted by label, cut into 2n equal shards, and every node
+//    receives two random shards, bounding it to at most 2 distinct labels
+//    (strongly non-IID).
+//  * FEMNIST: the natural by-writer partition (handled by the generator).
+// IID and Dirichlet(α) partitioners are included for the extension benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace skiptrain::data {
+
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Label-sorted shard partition (McMahan et al. 2017). Sorts sample indices
+/// by label, slices them into `nodes * shards_per_node` contiguous shards,
+/// and deals `shards_per_node` shards to each node uniformly at random.
+/// With shards_per_node = 2 this is the paper's "2-shard non-IID" split.
+Partition shard_partition(std::span<const std::int32_t> labels,
+                          std::size_t nodes, std::size_t shards_per_node,
+                          util::Rng& rng);
+
+/// Uniform random equal-size split.
+Partition iid_partition(std::size_t num_samples, std::size_t nodes,
+                        util::Rng& rng);
+
+/// Dirichlet(α) label-skew partition (Hsu et al. 2019): for every class, the
+/// per-node sample proportions are drawn from Dir(α). Small α (≈0.1) is
+/// highly heterogeneous; large α approaches IID.
+Partition dirichlet_partition(std::span<const std::int32_t> labels,
+                              std::size_t nodes, double alpha, util::Rng& rng);
+
+/// Verifies a partition covers [0, num_samples) exactly once across nodes.
+/// Throws std::runtime_error on overlap, omission, or out-of-range indices.
+void validate_partition(const Partition& partition, std::size_t num_samples);
+
+/// Gamma(alpha, 1) sampler (Marsaglia–Tsang), exposed for the Dirichlet
+/// draws used by both dirichlet_partition and the FEMNIST writer mixtures.
+double sample_gamma(util::Rng& rng, double alpha);
+
+/// Normalized Dirichlet(alpha) weight vector of length n.
+std::vector<double> dirichlet_weights(util::Rng& rng, double alpha,
+                                      std::size_t n);
+
+}  // namespace skiptrain::data

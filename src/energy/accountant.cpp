@@ -1,0 +1,88 @@
+#include "energy/accountant.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace skiptrain::energy {
+
+EnergyAccountant::EnergyAccountant(Fleet fleet, CommModel comm_model,
+                                   std::size_t model_params,
+                                   std::vector<std::size_t> degree_of_node)
+    : fleet_(std::move(fleet)),
+      comm_model_(comm_model),
+      model_params_(model_params),
+      degree_of_node_(std::move(degree_of_node)) {
+  if (degree_of_node_.size() != fleet_.num_nodes()) {
+    throw std::invalid_argument(
+        "EnergyAccountant: degree list size must match fleet size");
+  }
+  const std::size_t n = fleet_.num_nodes();
+  training_mwh_.assign(n, 0.0);
+  comm_mwh_.assign(n, 0.0);
+  training_rounds_.assign(n, 0);
+  budget_.resize(n);
+  for (std::size_t node = 0; node < n; ++node) {
+    budget_[node] = fleet_.budget_rounds(node);
+  }
+}
+
+void EnergyAccountant::set_budgets(std::vector<std::size_t> budgets) {
+  if (budgets.size() != num_nodes()) {
+    throw std::invalid_argument(
+        "EnergyAccountant::set_budgets: size must match node count");
+  }
+  budget_ = std::move(budgets);
+}
+
+void EnergyAccountant::record_training(std::size_t node) {
+  assert(node < num_nodes());
+  training_mwh_[node] += fleet_.training_energy_mwh(node);
+  ++training_rounds_[node];
+  if (budget_[node] > 0) --budget_[node];
+}
+
+void EnergyAccountant::record_exchange(std::size_t node) {
+  record_exchange(node, model_params_);
+}
+
+void EnergyAccountant::record_exchange(std::size_t node,
+                                       std::size_t effective_params) {
+  assert(node < num_nodes());
+  comm_mwh_[node] += comm_model_.exchange_energy_mwh(effective_params,
+                                                     degree_of_node_[node]);
+}
+
+std::size_t EnergyAccountant::remaining_budget(std::size_t node) const {
+  assert(node < num_nodes());
+  return budget_[node];
+}
+
+std::size_t EnergyAccountant::training_rounds_executed(
+    std::size_t node) const {
+  assert(node < num_nodes());
+  return training_rounds_[node];
+}
+
+double EnergyAccountant::node_training_mwh(std::size_t node) const {
+  assert(node < num_nodes());
+  return training_mwh_[node];
+}
+
+double EnergyAccountant::node_comm_mwh(std::size_t node) const {
+  assert(node < num_nodes());
+  return comm_mwh_[node];
+}
+
+double EnergyAccountant::total_training_wh() const {
+  double total = 0.0;
+  for (const double mwh : training_mwh_) total += mwh;
+  return total / 1000.0;
+}
+
+double EnergyAccountant::total_comm_wh() const {
+  double total = 0.0;
+  for (const double mwh : comm_mwh_) total += mwh;
+  return total / 1000.0;
+}
+
+}  // namespace skiptrain::energy

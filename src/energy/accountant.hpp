@@ -1,0 +1,70 @@
+// Per-node energy accounting during a simulation (Eq. 2-3 of the paper)
+// plus budget enforcement for the constrained setting (§3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "energy/device.hpp"
+#include "energy/fleet.hpp"
+
+namespace skiptrain::energy {
+
+class EnergyAccountant {
+ public:
+  /// `model_params` and `degree_of_node` drive the communication model.
+  EnergyAccountant(Fleet fleet, CommModel comm_model,
+                   std::size_t model_params,
+                   std::vector<std::size_t> degree_of_node);
+
+  /// Replaces the per-node training budgets (default: the fleet's τ_i).
+  /// Lets deployments with non-smartphone energy envelopes — e.g. the UAV
+  /// swarm example — impose their own round budgets.
+  void set_budgets(std::vector<std::size_t> budgets);
+
+  std::size_t num_nodes() const { return fleet_.num_nodes(); }
+  const Fleet& fleet() const { return fleet_; }
+
+  /// Dense model size the communication model bills for full exchanges.
+  std::size_t model_params() const { return model_params_; }
+
+  /// Records one local training execution by `node` (adds its per-round
+  /// training energy and decrements the remaining budget).
+  void record_training(std::size_t node);
+
+  /// Records one sharing+aggregation step by `node` (communication energy;
+  /// does not touch the training budget — this is the paper's core
+  /// observation: sync rounds are nearly free).
+  void record_exchange(std::size_t node);
+
+  /// Same, but for a compressed exchange whose wire volume corresponds to
+  /// `effective_params` dense parameters (see core::effective_params).
+  void record_exchange(std::size_t node, std::size_t effective_params);
+
+  /// Remaining training rounds before node i's battery allowance runs out.
+  std::size_t remaining_budget(std::size_t node) const;
+  bool has_budget(std::size_t node) const {
+    return remaining_budget(node) > 0;
+  }
+
+  std::size_t training_rounds_executed(std::size_t node) const;
+
+  /// Cumulative energies.
+  double node_training_mwh(std::size_t node) const;
+  double node_comm_mwh(std::size_t node) const;
+  double total_training_wh() const;
+  double total_comm_wh() const;
+  double total_wh() const { return total_training_wh() + total_comm_wh(); }
+
+ private:
+  Fleet fleet_;
+  CommModel comm_model_;
+  std::size_t model_params_;
+  std::vector<std::size_t> degree_of_node_;
+  std::vector<double> training_mwh_;
+  std::vector<double> comm_mwh_;
+  std::vector<std::size_t> training_rounds_;
+  std::vector<std::size_t> budget_;
+};
+
+}  // namespace skiptrain::energy

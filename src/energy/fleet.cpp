@@ -1,0 +1,87 @@
+#include "energy/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace skiptrain::energy {
+
+Fleet::Fleet(std::vector<std::size_t> device_of_node, Workload workload)
+    : device_of_node_(std::move(device_of_node)), workload_(workload) {
+  const std::size_t device_count = smartphone_traces().size();
+  for (const std::size_t d : device_of_node_) {
+    if (d >= device_count) {
+      throw std::invalid_argument("Fleet: device index out of range");
+    }
+  }
+}
+
+Fleet Fleet::even(std::size_t nodes, Workload workload) {
+  std::vector<std::size_t> assignment(nodes);
+  const std::size_t device_count = smartphone_traces().size();
+  for (std::size_t i = 0; i < nodes; ++i) assignment[i] = i % device_count;
+  return Fleet(std::move(assignment), workload);
+}
+
+Fleet Fleet::uniform(std::size_t nodes, std::size_t device_index,
+                     Workload workload) {
+  return Fleet(std::vector<std::size_t>(nodes, device_index), workload);
+}
+
+const TraceEntry& Fleet::device(std::size_t node) const {
+  return smartphone_traces()[device_of_node_[node]];
+}
+
+std::size_t Fleet::device_index(std::size_t node) const {
+  return device_of_node_[node];
+}
+
+double Fleet::training_energy_mwh(std::size_t node) const {
+  return device(node).energy_per_round_mwh(workload_);
+}
+
+std::size_t Fleet::budget_rounds(std::size_t node) const {
+  const std::size_t canonical = device(node).canonical_budget_rounds(workload_);
+  if (budget_scale_ == 1.0) return canonical;
+  const double scaled =
+      std::floor(static_cast<double>(canonical) * budget_scale_ + 1e-9);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(scaled));
+}
+
+Fleet Fleet::with_budget_scale(double factor) const {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("Fleet: budget scale must be positive");
+  }
+  Fleet scaled = *this;
+  scaled.budget_scale_ = factor;
+  return scaled;
+}
+
+double Fleet::mean_training_energy_mwh() const {
+  if (device_of_node_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t node = 0; node < num_nodes(); ++node) {
+    total += training_energy_mwh(node);
+  }
+  return total / static_cast<double>(num_nodes());
+}
+
+double Fleet::total_training_energy_wh(std::size_t training_rounds) const {
+  double total_mwh = 0.0;
+  for (std::size_t node = 0; node < num_nodes(); ++node) {
+    total_mwh +=
+        training_energy_mwh(node) * static_cast<double>(training_rounds);
+  }
+  return total_mwh / 1000.0;
+}
+
+double Fleet::total_budget_wh() const {
+  double total_mwh = 0.0;
+  for (std::size_t node = 0; node < num_nodes(); ++node) {
+    total_mwh += training_energy_mwh(node) *
+                 static_cast<double>(budget_rounds(node));
+  }
+  return total_mwh / 1000.0;
+}
+
+}  // namespace skiptrain::energy

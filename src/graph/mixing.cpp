@@ -1,0 +1,144 @@
+#include "graph/mixing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skiptrain::graph {
+
+MixingMatrix MixingMatrix::metropolis_hastings(const Topology& topology) {
+  const std::size_t n = topology.num_nodes();
+  MixingMatrix mix;
+  mix.self_weight_.resize(n);
+  mix.neighbors_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float off_diagonal = 0.0f;
+    auto& entries = mix.neighbors_[i];
+    entries.reserve(topology.degree(i));
+    for (const std::size_t j : topology.neighbors(i)) {
+      const auto denom = static_cast<float>(
+          std::max(topology.degree(i), topology.degree(j)) + 1);
+      const float w = 1.0f / denom;
+      entries.push_back(Entry{j, w});
+      off_diagonal += w;
+    }
+    mix.self_weight_[i] = 1.0f - off_diagonal;
+  }
+  return mix;
+}
+
+MixingMatrix MixingMatrix::all_reduce(std::size_t n) {
+  MixingMatrix mix;
+  const float w = 1.0f / static_cast<float>(n);
+  mix.self_weight_.assign(n, w);
+  mix.neighbors_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& entries = mix.neighbors_[i];
+    entries.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) entries.push_back(Entry{j, w});
+    }
+  }
+  return mix;
+}
+
+std::span<const MixingMatrix::Entry> MixingMatrix::neighbor_weights(
+    std::size_t node) const {
+  return neighbors_[node];
+}
+
+float MixingMatrix::weight(std::size_t i, std::size_t j) const {
+  if (i == j) return self_weight_[i];
+  for (const Entry& entry : neighbors_[i]) {
+    if (entry.neighbor == j) return entry.weight;
+  }
+  return 0.0f;
+}
+
+std::vector<double> MixingMatrix::dense() const {
+  const std::size_t n = num_nodes();
+  std::vector<double> matrix(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    matrix[i * n + i] = static_cast<double>(self_weight_[i]);
+    for (const Entry& entry : neighbors_[i]) {
+      matrix[i * n + entry.neighbor] = static_cast<double>(entry.weight);
+    }
+  }
+  return matrix;
+}
+
+double MixingMatrix::stochasticity_error() const {
+  const std::size_t n = num_nodes();
+  std::vector<double> col_sum(n, 0.0);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = static_cast<double>(self_weight_[i]);
+    col_sum[i] += static_cast<double>(self_weight_[i]);
+    for (const Entry& entry : neighbors_[i]) {
+      row_sum += static_cast<double>(entry.weight);
+      col_sum[entry.neighbor] += static_cast<double>(entry.weight);
+    }
+    worst = std::max(worst, std::abs(row_sum - 1.0));
+  }
+  for (const double c : col_sum) worst = std::max(worst, std::abs(c - 1.0));
+  return worst;
+}
+
+double MixingMatrix::symmetry_error() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < num_nodes(); ++i) {
+    for (const Entry& entry : neighbors_[i]) {
+      worst = std::max(worst,
+                       std::abs(static_cast<double>(entry.weight) -
+                                static_cast<double>(weight(entry.neighbor, i))));
+    }
+  }
+  return worst;
+}
+
+double MixingMatrix::second_eigenvalue(std::size_t iterations) const {
+  const std::size_t n = num_nodes();
+  if (n < 2) return 0.0;
+
+  // Power iteration on the complement of span{1}: since W is symmetric
+  // doubly stochastic, 1 is the top eigenvector with eigenvalue 1; after
+  // deflating it, the iteration converges to |λ2|.
+  std::vector<double> x(n), next(n);
+  // Deterministic non-uniform start vector.
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(static_cast<double>(i + 1) * 12.9898) * 43758.5453;
+    x[i] -= std::floor(x[i]);
+  }
+
+  const auto deflate_and_normalize = [&](std::vector<double>& v) {
+    double mean = 0.0;
+    for (const double value : v) mean += value;
+    mean /= static_cast<double>(n);
+    double norm = 0.0;
+    for (auto& value : v) {
+      value -= mean;
+      norm += value * value;
+    }
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (auto& value : v) value /= norm;
+    }
+    return norm;
+  };
+
+  deflate_and_normalize(x);
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = static_cast<double>(self_weight_[i]) * x[i];
+      for (const Entry& entry : neighbors_[i]) {
+        acc += static_cast<double>(entry.weight) * x[entry.neighbor];
+      }
+      next[i] = acc;
+    }
+    lambda = deflate_and_normalize(next);
+    std::swap(x, next);
+  }
+  return lambda;
+}
+
+}  // namespace skiptrain::graph

@@ -1,0 +1,71 @@
+// Mixing (gossip) matrices for decentralized averaging.
+//
+// The aggregation step of D-PSGD / SkipTrain is x_i ← Σ_j W_ji x_j with W
+// symmetric and doubly stochastic (Lian et al. 2017). Following the paper,
+// W is built from Metropolis–Hastings weights (Xiao & Boyd 2004):
+//
+//   W_ij = 1 / (max(deg(i), deg(j)) + 1)          for (i,j) ∈ E
+//   W_ii = 1 − Σ_{j≠i} W_ij
+//
+// Stored sparsely (per-node neighbor weight lists) since the simulator only
+// ever multiplies by W row-wise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/topology.hpp"
+
+namespace skiptrain::graph {
+
+class MixingMatrix {
+ public:
+  struct Entry {
+    std::size_t neighbor;
+    float weight;
+  };
+
+  MixingMatrix() = default;
+
+  /// Builds Metropolis–Hastings weights from the topology.
+  static MixingMatrix metropolis_hastings(const Topology& topology);
+
+  /// Uniform global averaging: W = (1/n) 11^T. This is the matrix the
+  /// paper's all-reduce baseline (Figure 1) effectively applies.
+  static MixingMatrix all_reduce(std::size_t n);
+
+  std::size_t num_nodes() const { return self_weight_.size(); }
+
+  float self_weight(std::size_t node) const { return self_weight_[node]; }
+  std::span<const Entry> neighbor_weights(std::size_t node) const;
+
+  /// Weight between two nodes; 0 when not adjacent (and i != j).
+  float weight(std::size_t i, std::size_t j) const;
+
+  /// Materialises the dense n x n matrix (test/diagnostic use only).
+  std::vector<double> dense() const;
+
+  /// max_i |Σ_j W_ij − 1| over rows and columns; 0 for a perfectly doubly
+  /// stochastic matrix.
+  double stochasticity_error() const;
+
+  /// max_{ij} |W_ij − W_ji|.
+  double symmetry_error() const;
+
+  /// Second-largest eigenvalue modulus λ2 of W, estimated by power
+  /// iteration on the space orthogonal to the all-ones vector. The
+  /// spectral gap 1 − λ2 governs gossip mixing speed: larger degree ⇒
+  /// larger gap ⇒ fewer synchronization rounds needed, which is exactly
+  /// the Γsync trend the paper observes in Figure 3.
+  double second_eigenvalue(std::size_t iterations = 200) const;
+
+  double spectral_gap(std::size_t iterations = 200) const {
+    return 1.0 - second_eigenvalue(iterations);
+  }
+
+ private:
+  std::vector<float> self_weight_;
+  std::vector<std::vector<Entry>> neighbors_;
+};
+
+}  // namespace skiptrain::graph

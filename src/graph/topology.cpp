@@ -1,0 +1,250 @@
+#include "graph/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace skiptrain::graph {
+
+Topology::Topology(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+void Topology::add_edge(std::size_t a, std::size_t b) {
+  if (a >= num_nodes() || b >= num_nodes()) {
+    throw std::invalid_argument("Topology::add_edge: node out of range");
+  }
+  if (a == b) {
+    throw std::invalid_argument("Topology::add_edge: self-loop");
+  }
+  if (has_edge(a, b)) {
+    throw std::invalid_argument("Topology::add_edge: duplicate edge");
+  }
+  auto& list_a = adjacency_[a];
+  auto& list_b = adjacency_[b];
+  list_a.insert(std::lower_bound(list_a.begin(), list_a.end(), b), b);
+  list_b.insert(std::lower_bound(list_b.begin(), list_b.end(), a), a);
+  ++num_edges_;
+}
+
+bool Topology::has_edge(std::size_t a, std::size_t b) const {
+  const auto& list = adjacency_[a];
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+std::size_t Topology::degree(std::size_t node) const {
+  return adjacency_[node].size();
+}
+
+const std::vector<std::size_t>& Topology::neighbors(std::size_t node) const {
+  return adjacency_[node];
+}
+
+std::size_t Topology::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& list : adjacency_) best = std::max(best, list.size());
+  return best;
+}
+
+bool Topology::is_regular() const {
+  if (adjacency_.empty()) return true;
+  const std::size_t d = adjacency_[0].size();
+  return std::all_of(adjacency_.begin(), adjacency_.end(),
+                     [d](const auto& list) { return list.size() == d; });
+}
+
+bool Topology::is_connected() const {
+  if (num_nodes() == 0) return true;
+  std::vector<bool> visited(num_nodes(), false);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  visited[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const std::size_t node = frontier.front();
+    frontier.pop();
+    for (const std::size_t next : adjacency_[node]) {
+      if (!visited[next]) {
+        visited[next] = true;
+        ++reached;
+        frontier.push(next);
+      }
+    }
+  }
+  return reached == num_nodes();
+}
+
+std::size_t Topology::diameter() const {
+  if (num_nodes() < 2) return 0;
+  std::size_t best = 0;
+  std::vector<std::size_t> dist(num_nodes());
+  for (std::size_t source = 0; source < num_nodes(); ++source) {
+    std::fill(dist.begin(), dist.end(), std::numeric_limits<std::size_t>::max());
+    std::queue<std::size_t> frontier;
+    frontier.push(source);
+    dist[source] = 0;
+    while (!frontier.empty()) {
+      const std::size_t node = frontier.front();
+      frontier.pop();
+      for (const std::size_t next : adjacency_[node]) {
+        if (dist[next] == std::numeric_limits<std::size_t>::max()) {
+          dist[next] = dist[node] + 1;
+          frontier.push(next);
+        }
+      }
+    }
+    for (const std::size_t d : dist) {
+      if (d == std::numeric_limits<std::size_t>::max()) {
+        return std::numeric_limits<std::size_t>::max();  // disconnected
+      }
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream out;
+  out << "Topology(n=" << num_nodes() << ", edges=" << num_edges();
+  if (is_regular() && num_nodes() > 0) {
+    out << ", " << degree(0) << "-regular";
+  }
+  out << ", connected=" << (is_connected() ? "yes" : "no") << ")";
+  return out.str();
+}
+
+Topology make_ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("make_ring: need n >= 3");
+  Topology topo(n);
+  for (std::size_t i = 0; i < n; ++i) topo.add_edge(i, (i + 1) % n);
+  return topo;
+}
+
+Topology make_fully_connected(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("make_fully_connected: need n >= 2");
+  Topology topo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) topo.add_edge(i, j);
+  }
+  return topo;
+}
+
+Topology make_circulant(std::size_t n, std::size_t degree) {
+  if (degree >= n) {
+    throw std::invalid_argument("make_circulant: degree must be < n");
+  }
+  if (degree % 2 == 1 && n % 2 == 1) {
+    throw std::invalid_argument(
+        "make_circulant: odd degree requires an even node count");
+  }
+  Topology topo(n);
+  for (std::size_t offset = 1; offset <= degree / 2; ++offset) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i + offset) % n;
+      if (!topo.has_edge(i, j)) topo.add_edge(i, j);
+    }
+  }
+  if (degree % 2 == 1) {
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      topo.add_edge(i, i + n / 2);
+    }
+  }
+  return topo;
+}
+
+Topology make_random_regular(std::size_t n, std::size_t degree,
+                             util::Rng& rng) {
+  if (degree >= n) {
+    throw std::invalid_argument("make_random_regular: degree must be < n");
+  }
+  if ((n * degree) % 2 != 0) {
+    throw std::invalid_argument("make_random_regular: n*degree must be even");
+  }
+  // Double-edge-swap randomization: start from the deterministic circulant
+  // (always d-regular and connected) and run the degree-preserving swap
+  // Markov chain — pick edges (a,b), (c,d), replace with (a,c), (b,d) when
+  // the result stays simple. Unlike whole-graph rejection of the pairing
+  // model (whose success probability decays like exp(-(d-1)/2 - (d-1)²/4)
+  // and is ~1e-4 already at d = 6), every proposal here is cheap and the
+  // chain provably mixes to the uniform distribution over d-regular simple
+  // graphs. A final connectivity check re-runs the chain if a swap
+  // disconnected the graph (rare for d >= 3).
+  constexpr int kMaxRestarts = 50;
+  for (int restart = 0; restart < kMaxRestarts; ++restart) {
+    Topology base = make_circulant(n, degree);
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    edges.reserve(base.num_edges());
+    std::set<std::pair<std::size_t, std::size_t>> edge_set;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (const std::size_t b : base.neighbors(a)) {
+        if (a < b) {
+          edges.emplace_back(a, b);
+          edge_set.emplace(a, b);
+        }
+      }
+    }
+    const auto has = [&](std::size_t a, std::size_t b) {
+      if (a > b) std::swap(a, b);
+      return edge_set.contains({a, b});
+    };
+
+    const std::size_t target_swaps = 20 * edges.size();
+    std::size_t performed = 0;
+    std::size_t proposals = 0;
+    const std::size_t max_proposals = 200 * edges.size();
+    while (performed < target_swaps && proposals < max_proposals) {
+      ++proposals;
+      const std::size_t i =
+          static_cast<std::size_t>(rng.uniform_int(edges.size()));
+      const std::size_t j =
+          static_cast<std::size_t>(rng.uniform_int(edges.size()));
+      if (i == j) continue;
+      auto [a, b] = edges[i];
+      auto [c, d] = edges[j];
+      // Two orientations; pick one uniformly: (a,c)+(b,d) or (a,d)+(b,c).
+      if (rng.bernoulli(0.5)) std::swap(c, d);
+      if (a == c || a == d || b == c || b == d) continue;
+      if (has(a, c) || has(b, d)) continue;
+
+      edge_set.erase({std::min(edges[i].first, edges[i].second),
+                      std::max(edges[i].first, edges[i].second)});
+      edge_set.erase({std::min(edges[j].first, edges[j].second),
+                      std::max(edges[j].first, edges[j].second)});
+      edges[i] = {std::min(a, c), std::max(a, c)};
+      edges[j] = {std::min(b, d), std::max(b, d)};
+      edge_set.insert(edges[i]);
+      edge_set.insert(edges[j]);
+      ++performed;
+    }
+
+    Topology topo(n);
+    for (const auto& [a, b] : edges) topo.add_edge(a, b);
+    if (topo.is_connected()) return topo;
+  }
+  // Unreachable in practice for connected-after-swaps d >= 2 graphs; keep
+  // the deterministic construction as a last resort.
+  return make_circulant(n, degree);
+}
+
+Topology make_erdos_renyi(std::size_t n, double p, util::Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("make_erdos_renyi: p must be in [0,1]");
+  }
+  Topology topo(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) topo.add_edge(i, j);
+    }
+  }
+  return topo;
+}
+
+Topology make_star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("make_star: need n >= 2");
+  Topology topo(n);
+  for (std::size_t i = 1; i < n; ++i) topo.add_edge(0, i);
+  return topo;
+}
+
+}  // namespace skiptrain::graph

@@ -1,0 +1,77 @@
+// Communication topologies G = (V, E) for decentralized learning.
+//
+// The paper evaluates d-regular graphs with d ∈ {6, 8, 10} on 256 nodes;
+// this module also provides ring / fully-connected / Erdős–Rényi / star
+// generators for the ablation benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace skiptrain::graph {
+
+/// Undirected simple graph stored as sorted adjacency lists.
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge (a, b). Duplicate edges and self-loops are
+  /// rejected with std::invalid_argument.
+  void add_edge(std::size_t a, std::size_t b);
+
+  bool has_edge(std::size_t a, std::size_t b) const;
+  std::size_t degree(std::size_t node) const;
+  const std::vector<std::size_t>& neighbors(std::size_t node) const;
+
+  /// Maximum degree across nodes (0 for empty graphs).
+  std::size_t max_degree() const;
+
+  /// True when every node has the same degree.
+  bool is_regular() const;
+
+  /// BFS connectivity test.
+  bool is_connected() const;
+
+  /// Graph diameter via BFS from every node; O(V·E). Returns 0 for graphs
+  /// with < 2 nodes and SIZE_MAX for disconnected graphs.
+  std::size_t diameter() const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Cycle over n >= 3 nodes (2-regular).
+[[nodiscard]] Topology make_ring(std::size_t n);
+
+/// Complete graph over n >= 2 nodes ((n-1)-regular).
+[[nodiscard]] Topology make_fully_connected(std::size_t n);
+
+/// Deterministic circulant d-regular graph: node i connects to i ± 1..d/2
+/// (and i + n/2 when d is odd, which requires n even). Always connected.
+[[nodiscard]] Topology make_circulant(std::size_t n, std::size_t degree);
+
+/// Random d-regular graph via the pairing (configuration) model with
+/// rejection of self-loops/multi-edges, retried until simple and connected.
+/// Requires n·d even and d < n. This matches the paper's "d-regular
+/// topologies" on 256 nodes.
+[[nodiscard]] Topology make_random_regular(std::size_t n, std::size_t degree,
+                                           util::Rng& rng);
+
+/// Erdős–Rényi G(n, p); not necessarily connected.
+[[nodiscard]] Topology make_erdos_renyi(std::size_t n, double p,
+                                        util::Rng& rng);
+
+/// Star: node 0 is the hub (models the FL server topology for comparison).
+[[nodiscard]] Topology make_star(std::size_t n);
+
+}  // namespace skiptrain::graph

@@ -1,0 +1,51 @@
+#include "metrics/consensus.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace skiptrain::metrics {
+
+double consensus_distance(std::span<const std::vector<float>> node_params) {
+  if (node_params.empty()) return 0.0;
+  const std::size_t dim = node_params.front().size();
+  std::vector<double> mean(dim, 0.0);
+  for (const auto& params : node_params) {
+    if (params.size() != dim) {
+      throw std::invalid_argument("consensus_distance: ragged parameters");
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      mean[i] += static_cast<double>(params[i]);
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(node_params.size());
+  for (auto& v : mean) v *= inv;
+
+  double total = 0.0;
+  for (const auto& params : node_params) {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = static_cast<double>(params[i]) - mean[i];
+      sq += d * d;
+    }
+    total += std::sqrt(sq);
+  }
+  return total * inv;
+}
+
+double max_pairwise_distance(std::span<const std::vector<float>> node_params) {
+  double worst = 0.0;
+  for (std::size_t a = 0; a < node_params.size(); ++a) {
+    for (std::size_t b = a + 1; b < node_params.size(); ++b) {
+      double sq = 0.0;
+      for (std::size_t i = 0; i < node_params[a].size(); ++i) {
+        const double d = static_cast<double>(node_params[a][i]) -
+                         static_cast<double>(node_params[b][i]);
+        sq += d * d;
+      }
+      worst = std::max(worst, std::sqrt(sq));
+    }
+  }
+  return worst;
+}
+
+}  // namespace skiptrain::metrics

@@ -1,0 +1,79 @@
+#include "metrics/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "util/thread_pool.hpp"
+
+namespace skiptrain::metrics {
+
+Evaluator::Evaluator(const data::Dataset* dataset, std::size_t max_samples,
+                     std::size_t batch_size)
+    : dataset_(dataset), batch_size_(batch_size) {
+  if (dataset_ == nullptr || dataset_->size() == 0) {
+    throw std::invalid_argument("Evaluator: empty dataset");
+  }
+  samples_ = (max_samples == 0) ? dataset_->size()
+                                : std::min(max_samples, dataset_->size());
+}
+
+EvalResult Evaluator::evaluate(nn::Sequential& model) const {
+  const data::DatasetView view = data::DatasetView::whole(dataset_);
+  tensor::Tensor batch;
+  std::vector<std::int32_t> labels;
+
+  double weighted_loss = 0.0;
+  double weighted_acc = 0.0;
+  std::size_t done = 0;
+  while (done < samples_) {
+    const std::size_t count = std::min(batch_size_, samples_ - done);
+    view.fill_range(done, count, batch, labels);
+    const tensor::Tensor& logits = model.forward(batch);
+    const nn::LossResult result =
+        nn::softmax_cross_entropy_eval(logits, labels);
+    weighted_loss += result.loss * static_cast<double>(count);
+    weighted_acc += result.accuracy * static_cast<double>(count);
+    done += count;
+  }
+  return EvalResult{weighted_acc / static_cast<double>(samples_),
+                    weighted_loss / static_cast<double>(samples_)};
+}
+
+EvalResult Evaluator::evaluate_average(
+    const nn::Sequential& prototype,
+    std::span<const std::vector<float>> node_params) const {
+  if (node_params.empty()) {
+    throw std::invalid_argument("evaluate_average: no node parameters");
+  }
+  const std::size_t dim = node_params.front().size();
+  std::vector<float> mean(dim, 0.0f);
+  for (const auto& params : node_params) {
+    if (params.size() != dim) {
+      throw std::invalid_argument("evaluate_average: ragged parameter list");
+    }
+    for (std::size_t i = 0; i < dim; ++i) mean[i] += params[i];
+  }
+  const float inv = 1.0f / static_cast<float>(node_params.size());
+  for (auto& v : mean) v *= inv;
+
+  nn::Sequential averaged = prototype.clone();
+  averaged.set_parameters(mean);
+  return evaluate(averaged);
+}
+
+Evaluator::FleetResult Evaluator::evaluate_fleet(
+    std::span<nn::Sequential* const> models) const {
+  FleetResult result;
+  result.per_node.assign(models.size(), 0.0);
+  util::parallel_for(0, models.size(), [&](std::size_t i) {
+    result.per_node[i] = evaluate(*models[i]).accuracy;
+  });
+  util::RunningStat stat;
+  for (const double acc : result.per_node) stat.add(acc);
+  result.accuracy = util::Summary{stat.count(), stat.mean(), stat.stddev(),
+                                  stat.min(), stat.max()};
+  return result;
+}
+
+}  // namespace skiptrain::metrics

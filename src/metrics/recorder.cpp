@@ -1,0 +1,61 @@
+#include "metrics/recorder.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace skiptrain::metrics {
+
+Recorder::Recorder(std::string experiment_name)
+    : name_(std::move(experiment_name)) {}
+
+void Recorder::add(const RoundRecord& record) { records_.push_back(record); }
+
+double Recorder::best_mean_accuracy() const {
+  double best = 0.0;
+  for (const auto& record : records_) {
+    best = std::max(best, record.mean_accuracy);
+  }
+  return best;
+}
+
+std::optional<RoundRecord> Recorder::record_at_energy(double budget_wh) const {
+  for (const auto& record : records_) {
+    if (record.train_energy_wh >= budget_wh) return record;
+  }
+  return std::nullopt;
+}
+
+void Recorder::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path,
+                      {"round", "training_round", "mean_accuracy",
+                       "std_accuracy", "mean_loss", "allreduce_accuracy",
+                       "train_energy_wh", "comm_energy_wh", "nodes_trained",
+                       "consensus"});
+  for (const auto& r : records_) {
+    csv.write_row(std::vector<double>{
+        static_cast<double>(r.round), r.training_round ? 1.0 : 0.0,
+        r.mean_accuracy, r.std_accuracy, r.mean_loss, r.allreduce_accuracy,
+        r.train_energy_wh, r.comm_energy_wh,
+        static_cast<double>(r.nodes_trained), r.consensus});
+  }
+}
+
+std::string Recorder::render_series(std::size_t stride) const {
+  util::TablePrinter table({"round", "kind", "acc mean%", "acc std%",
+                            "train Wh", "comm Wh", "trained"});
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (stride > 1 && i % stride != 0 && i + 1 != records_.size()) continue;
+    const auto& r = records_[i];
+    table.add_row({std::to_string(r.round), r.training_round ? "train" : "sync",
+                   util::fixed(100.0 * r.mean_accuracy, 2),
+                   util::fixed(100.0 * r.std_accuracy, 2),
+                   util::fixed(r.train_energy_wh, 2),
+                   util::fixed(r.comm_energy_wh, 3),
+                   std::to_string(r.nodes_trained)});
+  }
+  return name_ + "\n" + table.render();
+}
+
+}  // namespace skiptrain::metrics

@@ -1,0 +1,55 @@
+// Time-series recording for experiments: one record per evaluation point,
+// exportable to CSV and renderable as the paper's accuracy-vs-round /
+// accuracy-vs-energy series.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace skiptrain::metrics {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  bool training_round = false;    // coordinated round kind
+  double mean_accuracy = 0.0;     // mean over nodes (test or val)
+  double std_accuracy = 0.0;
+  double mean_loss = 0.0;
+  double allreduce_accuracy = 0.0;  // accuracy of the averaged model
+  double train_energy_wh = 0.0;     // cumulative fleet training energy
+  double comm_energy_wh = 0.0;      // cumulative fleet communication energy
+  std::size_t nodes_trained = 0;    // how many nodes trained this round
+  double consensus = 0.0;           // consensus distance at eval time
+};
+
+class Recorder {
+ public:
+  explicit Recorder(std::string experiment_name);
+
+  void add(const RoundRecord& record);
+
+  const std::string& name() const { return name_; }
+  const std::vector<RoundRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  const RoundRecord& last() const { return records_.back(); }
+
+  /// Best mean accuracy over the recorded series.
+  double best_mean_accuracy() const;
+
+  /// First record whose cumulative training energy reaches `budget_wh`
+  /// (used for equal-energy comparisons as in Table 4); nullopt when the
+  /// series never reaches the budget.
+  std::optional<RoundRecord> record_at_energy(double budget_wh) const;
+
+  /// Writes the series to `path` as CSV.
+  void write_csv(const std::string& path) const;
+
+  /// Compact console rendering: every k-th record as a table row.
+  [[nodiscard]] std::string render_series(std::size_t stride = 1) const;
+
+ private:
+  std::string name_;
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace skiptrain::metrics

@@ -1,0 +1,155 @@
+#include "nn/conv2d.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace skiptrain::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_size, std::size_t stride,
+               std::size_t padding)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel_size),
+      stride_(stride),
+      pad_(padding),
+      params_(out_channels * in_channels * kernel_size * kernel_size +
+                  out_channels,
+              0.0f),
+      grads_(params_.size(), 0.0f) {
+  if (stride_ == 0) throw std::invalid_argument("Conv2d: stride must be > 0");
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(in_c_) + "->" + std::to_string(out_c_) +
+         ", k=" + std::to_string(k_) + ", s=" + std::to_string(stride_) +
+         ", p=" + std::to_string(pad_) + ")";
+}
+
+std::size_t Conv2d::spatial_out(std::size_t in) const {
+  const std::size_t padded = in + 2 * pad_;
+  if (padded < k_) {
+    throw std::invalid_argument("Conv2d: input smaller than kernel");
+  }
+  return (padded - k_) / stride_ + 1;
+}
+
+Shape Conv2d::output_shape(const Shape& input_shape) const {
+  if (input_shape.size() != 4 || input_shape[1] != in_c_) {
+    throw std::invalid_argument("Conv2d: expected input [B, " +
+                                std::to_string(in_c_) + ", H, W], got " +
+                                tensor::shape_to_string(input_shape));
+  }
+  return {input_shape[0], out_c_, spatial_out(input_shape[2]),
+          spatial_out(input_shape[3])};
+}
+
+void Conv2d::forward(const Tensor& input, Tensor& output) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = spatial_out(h);
+  const std::size_t ow = spatial_out(w);
+  const float* weights = params_.data();
+  const float* bias = params_.data() + out_c_ * in_c_ * k_ * k_;
+
+  const auto in = input.data();
+  const auto out = output.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      float* out_plane = out.data() + ((b * out_c_ + oc) * oh) * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = bias[oc];
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            const float* in_plane = in.data() + ((b * in_c_ + ic) * h) * w;
+            const float* kernel =
+                weights + ((oc * in_c_ + ic) * k_) * k_;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              // Input coordinates with padding offset; skip out-of-bounds
+              // (zero padding contributes nothing).
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                acc += kernel[ky * k_ + kx] *
+                       in_plane[static_cast<std::size_t>(iy) * w +
+                                static_cast<std::size_t>(ix)];
+              }
+            }
+          }
+          out_plane[oy * ow + ox] = acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::backward(const Tensor& input, const Tensor& grad_output,
+                      Tensor& grad_input) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t oh = spatial_out(h);
+  const std::size_t ow = spatial_out(w);
+  const float* weights = params_.data();
+  float* grad_w = grads_.data();
+  float* grad_b = grads_.data() + out_c_ * in_c_ * k_ * k_;
+
+  grad_input.zero();
+  const auto in = input.data();
+  const auto gout = grad_output.data();
+  const auto gin = grad_input.data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* gout_plane = gout.data() + ((b * out_c_ + oc) * oh) * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = gout_plane[oy * ow + ox];
+          if (g == 0.0f) continue;
+          grad_b[oc] += g;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            const float* in_plane = in.data() + ((b * in_c_ + ic) * h) * w;
+            float* gin_plane = gin.data() + ((b * in_c_ + ic) * h) * w;
+            const float* kernel = weights + ((oc * in_c_ + ic) * k_) * k_;
+            float* gkernel = grad_w + ((oc * in_c_ + ic) * k_) * k_;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const std::size_t idx = static_cast<std::size_t>(iy) * w +
+                                        static_cast<std::size_t>(ix);
+                gkernel[ky * k_ + kx] += g * in_plane[idx];
+                gin_plane[idx] += g * kernel[ky * k_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::zero_grad() {
+  std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  auto copy = std::make_unique<Conv2d>(in_c_, out_c_, k_, stride_, pad_);
+  copy->params_ = params_;
+  return copy;
+}
+
+}  // namespace skiptrain::nn

@@ -1,0 +1,47 @@
+// 2-D convolution over [B, C, H, W] tensors (direct algorithm, suitable for
+// the small CNNs the paper trains). Supports stride and symmetric zero
+// padding. Weights are stored [out_c, in_c, kh, kw] followed by bias[out_c].
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace skiptrain::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_size, std::size_t stride = 1,
+         std::size_t padding = 0);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input_shape) const override;
+  void forward(const Tensor& input, Tensor& output) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+
+  std::span<float> parameters() override { return params_; }
+  std::span<const float> parameters() const override { return params_; }
+  std::span<float> gradients() override { return grads_; }
+  void zero_grad() override;
+
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t in_channels() const { return in_c_; }
+  std::size_t out_channels() const { return out_c_; }
+  std::size_t kernel_size() const { return k_; }
+
+ private:
+  std::size_t spatial_out(std::size_t in) const;
+
+  std::size_t in_c_;
+  std::size_t out_c_;
+  std::size_t k_;
+  std::size_t stride_;
+  std::size_t pad_;
+  std::vector<float> params_;  // weights then bias
+  std::vector<float> grads_;
+};
+
+}  // namespace skiptrain::nn

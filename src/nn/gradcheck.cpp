@@ -1,0 +1,70 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nn/loss.hpp"
+
+namespace skiptrain::nn {
+
+namespace {
+
+double loss_at(Sequential& model, const tensor::Tensor& input,
+               std::span<const std::int32_t> labels) {
+  const tensor::Tensor& logits = model.forward(input);
+  return softmax_cross_entropy_eval(logits, labels).loss;
+}
+
+}  // namespace
+
+GradCheckResult gradient_check(Sequential& model, const tensor::Tensor& input,
+                               std::span<const std::int32_t> labels,
+                               double eps, std::size_t max_params,
+                               double abs_tol, double rel_tol) {
+  const std::size_t n = model.num_parameters();
+  std::vector<float> params(n);
+  model.get_parameters(params);
+
+  // Analytic gradients.
+  model.zero_grad();
+  const tensor::Tensor& logits = model.forward(input);
+  tensor::Tensor grad_logits(logits.shape());
+  softmax_cross_entropy(logits, labels, grad_logits);
+  model.backward(input, grad_logits);
+  std::vector<float> analytic(n);
+  model.get_gradients(analytic);
+
+  const std::size_t stride =
+      (max_params == 0 || max_params >= n) ? 1 : std::max<std::size_t>(1, n / max_params);
+
+  GradCheckResult result;
+  for (std::size_t i = 0; i < n; i += stride) {
+    const float original = params[i];
+
+    params[i] = original + static_cast<float>(eps);
+    model.set_parameters(params);
+    const double loss_plus = loss_at(model, input, labels);
+
+    params[i] = original - static_cast<float>(eps);
+    model.set_parameters(params);
+    const double loss_minus = loss_at(model, input, labels);
+
+    params[i] = original;
+
+    const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+    const double abs_err = std::abs(numeric - static_cast<double>(analytic[i]));
+    const double denom =
+        std::max({std::abs(numeric), std::abs(static_cast<double>(analytic[i])),
+                  1e-8});
+    const double rel_err = abs_err / denom;
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, rel_err);
+    if (abs_err > abs_tol && rel_err > rel_tol) ++result.failures;
+    ++result.checked;
+  }
+  model.set_parameters(params);
+  return result;
+}
+
+}  // namespace skiptrain::nn

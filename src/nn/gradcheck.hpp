@@ -1,0 +1,33 @@
+// Finite-difference gradient verification, the correctness oracle for the
+// hand-written backward passes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/sequential.hpp"
+
+namespace skiptrain::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::size_t checked = 0;
+  /// Parameters where BOTH the absolute and relative error exceeded their
+  /// tolerances — the robust pass criterion for float32 arithmetic (tiny
+  /// gradients inflate relative error; large ones inflate absolute error).
+  std::size_t failures = 0;
+};
+
+/// Compares analytic gradients of the softmax-CE loss wrt every model
+/// parameter against central finite differences.
+///
+/// `max_params` caps how many parameters are probed (uniformly strided);
+/// 0 means all. `eps` is the finite-difference step. A parameter counts as
+/// a failure when abs error > `abs_tol` AND rel error > `rel_tol`.
+GradCheckResult gradient_check(Sequential& model, const tensor::Tensor& input,
+                               std::span<const std::int32_t> labels,
+                               double eps = 1e-3, std::size_t max_params = 0,
+                               double abs_tol = 1e-3, double rel_tol = 5e-2);
+
+}  // namespace skiptrain::nn

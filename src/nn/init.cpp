@@ -1,0 +1,45 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+
+namespace skiptrain::nn {
+
+namespace {
+
+float bound_for(InitScheme scheme, std::size_t fan_in, std::size_t fan_out) {
+  switch (scheme) {
+    case InitScheme::kKaimingUniform:
+      return std::sqrt(6.0f / static_cast<float>(fan_in));
+    case InitScheme::kXavierUniform:
+      return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+void initialize(Sequential& model, util::Rng& rng, InitScheme scheme) {
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    Layer& layer = model.layer(i);
+    if (auto* linear = dynamic_cast<Linear*>(&layer)) {
+      const float bound =
+          bound_for(scheme, linear->in_features(), linear->out_features());
+      rng.fill_uniform(linear->weights(), -bound, bound);
+      for (auto& b : linear->bias()) b = 0.0f;
+    } else if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      const std::size_t receptive = conv->kernel_size() * conv->kernel_size();
+      const std::size_t fan_in = conv->in_channels() * receptive;
+      const std::size_t fan_out = conv->out_channels() * receptive;
+      const float bound = bound_for(scheme, fan_in, fan_out);
+      auto params = conv->parameters();
+      const std::size_t weight_count = params.size() - conv->out_channels();
+      rng.fill_uniform(params.subspan(0, weight_count), -bound, bound);
+      for (auto& b : params.subspan(weight_count)) b = 0.0f;
+    }
+  }
+}
+
+}  // namespace skiptrain::nn

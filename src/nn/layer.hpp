@@ -1,0 +1,57 @@
+// Layer abstraction for the from-scratch neural-network stack.
+//
+// Design notes
+// ------------
+// * Parameters and their gradients live in two flat float vectors per layer
+//   (weights first, then bias). This makes the decentralized-learning
+//   aggregation step — averaging whole models — a single contiguous vector
+//   operation, exactly the view D-PSGD/SkipTrain need.
+// * Layers are stateless across samples except for cached forward artifacts
+//   needed by backward (e.g. max-pool argmax masks). Each simulated node
+//   owns its private model clone, so no cross-thread sharing occurs.
+// * Batch dimension is always tensor dim 0.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace skiptrain::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Human-readable layer name ("Linear(64->10)").
+  virtual std::string name() const = 0;
+
+  /// Given the per-batch input shape (including batch dim 0), returns the
+  /// output shape. Throws std::invalid_argument on incompatible shapes.
+  virtual Shape output_shape(const Shape& input_shape) const = 0;
+
+  /// Computes output = f(input). `output` is pre-sized by the caller to
+  /// output_shape(input.shape()).
+  virtual void forward(const Tensor& input, Tensor& output) = 0;
+
+  /// Accumulates parameter gradients and writes grad wrt input.
+  /// Contract: called after forward() on the same `input`.
+  virtual void backward(const Tensor& input, const Tensor& grad_output,
+                        Tensor& grad_input) = 0;
+
+  /// Flat parameter/gradient storage; empty spans for parameter-free layers.
+  virtual std::span<float> parameters() { return {}; }
+  virtual std::span<const float> parameters() const { return {}; }
+  virtual std::span<float> gradients() { return {}; }
+
+  virtual void zero_grad() {}
+
+  /// Deep copy (used to instantiate one model per simulated node).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace skiptrain::nn

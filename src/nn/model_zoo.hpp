@@ -1,0 +1,45 @@
+// Model architectures. make_cifar_cnn / make_femnist_cnn reconstruct the
+// exact networks from the paper's Table 1 (89 834 and 1 690 046 parameters
+// respectively); the compact builders provide the scaled models used by the
+// default bench configuration so that 256-node simulations stay tractable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace skiptrain::nn {
+
+/// Parameter counts reported in Table 1 of the paper ("|x| Model size").
+inline constexpr std::size_t kPaperCifarModelSize = 89834;
+inline constexpr std::size_t kPaperFemnistModelSize = 1690046;
+
+/// Linear softmax classifier: Linear(in -> classes).
+[[nodiscard]] Sequential make_softmax_regression(std::size_t in_features,
+                                                 std::size_t classes);
+
+/// Multilayer perceptron with ReLU activations:
+/// in -> hidden[0] -> ... -> classes.
+[[nodiscard]] Sequential make_mlp(std::size_t in_features,
+                                  const std::vector<std::size_t>& hidden,
+                                  std::size_t classes);
+
+/// GN-LeNet for CIFAR-10 (input [B, 3, 32, 32], 10 classes):
+/// 3x{Conv5x5 + GroupNorm + ReLU + MaxPool2} then Linear(1024 -> 10).
+/// Exactly kPaperCifarModelSize parameters.
+[[nodiscard]] Sequential make_cifar_cnn();
+
+/// LEAF-style CNN for FEMNIST (input [B, 1, 28, 28], 62 classes):
+/// 2x{Conv5x5 + ReLU + MaxPool2} then Linear(3136 -> 512) -> Linear(512 -> 62).
+/// Exactly kPaperFemnistModelSize parameters.
+[[nodiscard]] Sequential make_femnist_cnn();
+
+/// Compact MLP used by the scaled benches for the synthetic CIFAR-10 task
+/// (flat feature input, 10 classes).
+[[nodiscard]] Sequential make_compact_cifar_model(std::size_t in_features);
+
+/// Compact MLP for the synthetic FEMNIST task (62 classes).
+[[nodiscard]] Sequential make_compact_femnist_model(std::size_t in_features);
+
+}  // namespace skiptrain::nn

@@ -1,0 +1,142 @@
+#include "nn/sequential.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace skiptrain::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+const Tensor& Sequential::forward(const Tensor& input) {
+  if (layers_.empty()) {
+    throw std::logic_error("Sequential::forward: model has no layers");
+  }
+  activations_.resize(layers_.size());
+  const Tensor* current = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Shape out_shape = layers_[i]->output_shape(current->shape());
+    if (activations_[i].shape() != out_shape) {
+      activations_[i] = Tensor(out_shape);
+    }
+    layers_[i]->forward(*current, activations_[i]);
+    current = &activations_[i];
+  }
+  return activations_.back();
+}
+
+void Sequential::backward(const Tensor& input, const Tensor& grad_logits) {
+  assert(activations_.size() == layers_.size());
+  // Walk layers in reverse; grad buffers are allocated per call. The model
+  // sizes involved (10^3..10^5 floats) make this allocation negligible
+  // relative to the matrix math.
+  Tensor grad_out = Tensor(grad_logits.shape());
+  tensor::copy(grad_logits.data(), grad_out.data());
+
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& layer_input = (i == 0) ? input : activations_[i - 1];
+    Tensor grad_in(layer_input.shape());
+    layers_[i]->backward(layer_input, grad_out, grad_in);
+    grad_out = std::move(grad_in);
+  }
+}
+
+void Sequential::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::size_t Sequential::num_parameters() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer->parameters().size();
+  return total;
+}
+
+void Sequential::get_parameters(std::span<float> out) const {
+  assert(out.size() == num_parameters());
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    const auto params = layer->parameters();
+    std::copy(params.begin(), params.end(), out.begin() + offset);
+    offset += params.size();
+  }
+}
+
+void Sequential::set_parameters(std::span<const float> in) {
+  assert(in.size() == num_parameters());
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    auto params = layer->parameters();
+    std::copy(in.begin() + offset, in.begin() + offset + params.size(),
+              params.begin());
+    offset += params.size();
+  }
+}
+
+std::vector<float> Sequential::parameters_flat() const {
+  std::vector<float> flat(num_parameters());
+  get_parameters(flat);
+  return flat;
+}
+
+void Sequential::get_gradients(std::span<float> out) const {
+  assert(out.size() == num_parameters());
+  std::size_t offset = 0;
+  for (const auto& layer : layers_) {
+    auto grads = const_cast<Layer&>(*layer).gradients();
+    std::copy(grads.begin(), grads.end(), out.begin() + offset);
+    offset += grads.size();
+  }
+}
+
+void Sequential::apply_parameter_delta(std::span<const float> delta) {
+  assert(delta.size() == num_parameters());
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    auto params = layer->parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= delta[offset + i];
+    }
+    offset += params.size();
+  }
+}
+
+std::vector<std::span<float>> Sequential::parameter_spans() {
+  std::vector<std::span<float>> spans;
+  for (auto& layer : layers_) {
+    if (!layer->parameters().empty()) spans.push_back(layer->parameters());
+  }
+  return spans;
+}
+
+std::vector<std::span<float>> Sequential::gradient_spans() {
+  std::vector<std::span<float>> spans;
+  for (auto& layer : layers_) {
+    if (!layer->gradients().empty()) spans.push_back(layer->gradients());
+  }
+  return spans;
+}
+
+Sequential Sequential::clone() const {
+  Sequential copy;
+  for (const auto& layer : layers_) copy.add(layer->clone());
+  return copy;
+}
+
+std::string Sequential::summary() const {
+  std::ostringstream out;
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    const std::size_t count = layer->parameters().size();
+    out << "  " << layer->name() << "  params=" << count << '\n';
+    total += count;
+  }
+  out << "  total parameters: " << total << '\n';
+  return out.str();
+}
+
+}  // namespace skiptrain::nn

@@ -1,0 +1,77 @@
+// Sequential container = the "model" type of this library. Owns layers and
+// the activation buffers needed for backprop, and exposes the whole-model
+// flat parameter view used by decentralized averaging.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace skiptrain::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  // Movable, non-copyable (use clone() for explicit deep copies).
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: constructs a layer in place.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  /// Runs the forward pass and returns the final activation (logits).
+  /// Buffers are retained across calls and resized when the batch changes.
+  const Tensor& forward(const Tensor& input);
+
+  /// Backpropagates `grad_logits` through every layer, accumulating
+  /// parameter gradients. Must follow a forward() on the same input.
+  void backward(const Tensor& input, const Tensor& grad_logits);
+
+  void zero_grad();
+
+  /// Total parameter count across layers.
+  std::size_t num_parameters() const;
+
+  /// Copies all parameters into / from one flat contiguous vector, ordered
+  /// by layer. This is the model representation exchanged between nodes.
+  void get_parameters(std::span<float> out) const;
+  void set_parameters(std::span<const float> in);
+  std::vector<float> parameters_flat() const;
+
+  /// Copies all gradients into one flat vector (ordered as parameters).
+  void get_gradients(std::span<float> out) const;
+
+  /// Applies `update[i]` to parameter i: p -= update. Used by optimizers
+  /// operating on the flat view.
+  void apply_parameter_delta(std::span<const float> delta);
+
+  /// Per-layer parameter/gradient spans (skips parameter-free layers).
+  std::vector<std::span<float>> parameter_spans();
+  std::vector<std::span<float>> gradient_spans();
+
+  /// Deep copy of layers and parameters.
+  [[nodiscard]] Sequential clone() const;
+
+  /// Human-readable architecture summary, one layer per line.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Tensor> activations_;  // activations_[i] = output of layer i
+};
+
+}  // namespace skiptrain::nn

@@ -1,0 +1,84 @@
+#include "nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace skiptrain::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'K', 'T', 'N'};
+
+void write_exact(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("checkpoint: write failed");
+}
+
+void read_exact(std::ifstream& in, void* data, std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+    throw std::runtime_error("checkpoint: truncated file");
+  }
+}
+
+struct Header {
+  char magic[4];
+  std::uint32_t version;
+  std::uint64_t param_count;
+};
+
+Header read_header(std::ifstream& in, const std::string& path) {
+  Header header{};
+  read_exact(in, header.magic, sizeof(header.magic));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  read_exact(in, &header.version, sizeof(header.version));
+  if (header.version != kCheckpointVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(header.version));
+  }
+  read_exact(in, &header.param_count, sizeof(header.param_count));
+  return header;
+}
+
+}  // namespace
+
+void save_checkpoint(const Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+
+  write_exact(out, kMagic, sizeof(kMagic));
+  write_exact(out, &kCheckpointVersion, sizeof(kCheckpointVersion));
+  const std::uint64_t count = model.num_parameters();
+  write_exact(out, &count, sizeof(count));
+
+  const std::vector<float> params = model.parameters_flat();
+  write_exact(out, params.data(), params.size() * sizeof(float));
+}
+
+void load_checkpoint(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+
+  const Header header = read_header(in, path);
+  if (header.param_count != model.num_parameters()) {
+    throw std::runtime_error(
+        "checkpoint: parameter count mismatch (file has " +
+        std::to_string(header.param_count) + ", model has " +
+        std::to_string(model.num_parameters()) + ")");
+  }
+  std::vector<float> params(header.param_count);
+  read_exact(in, params.data(), params.size() * sizeof(float));
+  model.set_parameters(params);
+}
+
+std::size_t checkpoint_param_count(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  return read_header(in, path).param_count;
+}
+
+}  // namespace skiptrain::nn

@@ -1,0 +1,28 @@
+// Model checkpointing: saves/loads the flat parameter vector with a small
+// self-describing header so mismatched architectures fail loudly instead
+// of silently mis-assigning weights. Deployed SkipTrain nodes checkpoint
+// between sessions; the examples use this to persist trained models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace skiptrain::nn {
+
+/// File layout: magic "SKTN" | u32 version | u64 param_count | f32 data...
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Writes the model's parameters to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_checkpoint(const Sequential& model, const std::string& path);
+
+/// Loads parameters from `path` into `model`. Throws std::runtime_error on
+/// I/O failure, bad magic/version, or parameter-count mismatch.
+void load_checkpoint(Sequential& model, const std::string& path);
+
+/// Reads just the parameter count from a checkpoint header.
+std::size_t checkpoint_param_count(const std::string& path);
+
+}  // namespace skiptrain::nn

@@ -1,0 +1,129 @@
+#include "sim/async_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace skiptrain::sim {
+
+AsyncGossipEngine::AsyncGossipEngine(const nn::Sequential& prototype,
+                                     const data::FederatedData& data,
+                                     const graph::Topology& topology,
+                                     const core::RoundScheduler& scheduler,
+                                     energy::EnergyAccountant accountant,
+                                     std::vector<double> train_seconds,
+                                     AsyncConfig config)
+    : topology_(topology),
+      scheduler_(scheduler),
+      accountant_(std::move(accountant)),
+      train_seconds_(std::move(train_seconds)),
+      config_(config) {
+  const std::size_t n = data.num_nodes();
+  if (topology_.num_nodes() != n || train_seconds_.size() != n ||
+      accountant_.num_nodes() != n) {
+    throw std::invalid_argument("AsyncGossipEngine: size mismatch");
+  }
+  for (const double seconds : train_seconds_) {
+    if (seconds <= 0.0) {
+      throw std::invalid_argument(
+          "AsyncGossipEngine: training durations must be positive");
+    }
+  }
+
+  const nn::SgdOptions sgd{config_.learning_rate, 0.0f, 0.0f};
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(i, prototype, data.node_view(i),
+                                            sgd, config_.seed));
+  }
+  local_round_.assign(n, 0);
+
+  const std::size_t dim = prototype.num_parameters();
+  mailbox_.resize(n);
+  fresh_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mailbox_[i].assign(topology_.degree(i), std::vector<float>(dim));
+    fresh_[i].assign(topology_.degree(i), 0);
+  }
+  scratch_.resize(dim);
+
+  // Stagger first activations slightly by node id so identical-speed nodes
+  // do not activate in lockstep (ε of their period).
+  for (std::size_t i = 0; i < n; ++i) {
+    const double jitter =
+        train_seconds_[i] * 1e-3 * static_cast<double>(i % 97);
+    queue_.push(Event{jitter, i});
+  }
+}
+
+std::size_t AsyncGossipEngine::local_rounds(std::size_t node) const {
+  assert(node < local_round_.size());
+  return local_round_[node];
+}
+
+void AsyncGossipEngine::run_until(double horizon_seconds) {
+  while (!queue_.empty() && queue_.top().time <= horizon_seconds) {
+    const Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    activate(event.node);
+  }
+  now_ = std::max(now_, horizon_seconds);
+}
+
+void AsyncGossipEngine::activate(std::size_t node) {
+  ++activations_;
+  const std::size_t t = ++local_round_[node];
+
+  // 1-2. Local training decision on the node's own round counter.
+  const bool trains =
+      scheduler_.should_train(t, node, accountant_.remaining_budget(node));
+  if (trains) {
+    accountant_.record_training(node);
+    nodes_[node]->train_local(config_.local_steps, config_.batch_size);
+    ++trainings_;
+  }
+
+  // 3. Merge fresh neighbor models: uniform average over self + fresh.
+  nn::Sequential& model = nodes_[node]->model();
+  model.get_parameters(scratch_);
+  std::size_t contributors = 1;
+  auto& slots = mailbox_[node];
+  auto& fresh = fresh_[node];
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (!fresh[s]) continue;
+    const auto& theirs = slots[s];
+    for (std::size_t k = 0; k < scratch_.size(); ++k) {
+      scratch_[k] += theirs[k];
+    }
+    fresh[s] = 0;
+    ++contributors;
+  }
+  if (contributors > 1) {
+    const float inv = 1.0f / static_cast<float>(contributors);
+    for (auto& v : scratch_) v *= inv;
+  }
+  model.set_parameters(scratch_);
+
+  // 4. Push the merged model to every neighbor's mailbox.
+  accountant_.record_exchange(node);
+  const auto& neighbors = topology_.neighbors(node);
+  for (const std::size_t peer : neighbors) {
+    // Find this node's slot at the peer (neighbor lists are sorted).
+    const auto& peer_neighbors = topology_.neighbors(peer);
+    const auto it = std::lower_bound(peer_neighbors.begin(),
+                                     peer_neighbors.end(), node);
+    const auto slot =
+        static_cast<std::size_t>(it - peer_neighbors.begin());
+    mailbox_[peer][slot] = scratch_;
+    fresh_[peer][slot] = 1;
+  }
+
+  // 5. Schedule the next activation.
+  const double duration =
+      trains ? train_seconds_[node]
+             : train_seconds_[node] * config_.sync_duration_factor;
+  queue_.push(Event{now_ + duration, node});
+}
+
+}  // namespace skiptrain::sim

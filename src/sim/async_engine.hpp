@@ -1,0 +1,105 @@
+// Asynchronous SkipTrain — the extension the paper leaves as future work
+// (§5.3: "asynchronous algorithms offer a more practical approach by
+// relaxing the need for strict synchronization").
+//
+// Discrete-event semantics: each node runs its own activation loop on its
+// own clock. On activation, a node
+//   1. advances its LOCAL round counter and asks the RoundScheduler whether
+//      this local round trains (SkipTrain's Γ-alternation applies per-node,
+//      no global barrier);
+//   2. trains for its device-specific duration (slow devices activate less
+//      often — no straggler stalls the fleet), or performs a cheap
+//      sync-only activation;
+//   3. merges the freshest models its neighbors pushed since its last
+//      activation (uniform average over {self} ∪ fresh senders);
+//   4. pushes its merged model to every neighbor's mailbox;
+//   5. schedules its next activation at now + duration.
+//
+// The event queue is processed serially with (time, node-id) ordering, so
+// runs are exactly reproducible. Energy uses the same accountant as the
+// synchronous engine.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "data/dataset.hpp"
+#include "energy/accountant.hpp"
+#include "graph/topology.hpp"
+#include "nn/sequential.hpp"
+#include "sim/node.hpp"
+
+namespace skiptrain::sim {
+
+struct AsyncConfig {
+  std::size_t local_steps = 5;
+  std::size_t batch_size = 32;
+  float learning_rate = 0.1f;
+  std::uint64_t seed = 42;
+  /// Duration of a sync-only activation relative to a training activation
+  /// (communication + aggregation are fast; cf. the >200x energy ratio).
+  double sync_duration_factor = 0.05;
+};
+
+class AsyncGossipEngine {
+ public:
+  /// `train_seconds[i]` is node i's wall-clock duration for one training
+  /// activation (derived from its device trace). References must outlive
+  /// the engine.
+  AsyncGossipEngine(const nn::Sequential& prototype,
+                    const data::FederatedData& data,
+                    const graph::Topology& topology,
+                    const core::RoundScheduler& scheduler,
+                    energy::EnergyAccountant accountant,
+                    std::vector<double> train_seconds, AsyncConfig config);
+
+  /// Processes events until the simulated clock passes `horizon_seconds`
+  /// (cumulative across calls — run_until(10) then run_until(20) works).
+  void run_until(double horizon_seconds);
+
+  double now() const { return now_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t total_activations() const { return activations_; }
+  std::size_t total_trainings() const { return trainings_; }
+  std::size_t local_rounds(std::size_t node) const;
+
+  nn::Sequential& model(std::size_t node) { return nodes_[node]->model(); }
+  const energy::EnergyAccountant& accountant() const { return accountant_; }
+
+ private:
+  struct Event {
+    double time;
+    std::size_t node;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return node > other.node;  // deterministic tie-break
+    }
+  };
+
+  void activate(std::size_t node);
+
+  const graph::Topology& topology_;
+  const core::RoundScheduler& scheduler_;
+  energy::EnergyAccountant accountant_;
+  std::vector<double> train_seconds_;
+  AsyncConfig config_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::size_t> local_round_;
+
+  // mailbox_[receiver][slot] = freshest params from that neighbor;
+  // fresh_[receiver][slot] marks unconsumed deliveries. Slot order matches
+  // topology_.neighbors(receiver).
+  std::vector<std::vector<std::vector<float>>> mailbox_;
+  std::vector<std::vector<char>> fresh_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  double now_ = 0.0;
+  std::size_t activations_ = 0;
+  std::size_t trainings_ = 0;
+  std::vector<float> scratch_;
+};
+
+}  // namespace skiptrain::sim

@@ -1,0 +1,144 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace skiptrain::sim {
+
+RoundEngine::RoundEngine(const nn::Sequential& prototype,
+                         const data::FederatedData& data,
+                         const graph::MixingMatrix& mixing,
+                         const core::RoundScheduler& scheduler,
+                         energy::EnergyAccountant accountant,
+                         EngineConfig config)
+    : mixing_(mixing),
+      scheduler_(scheduler),
+      accountant_(std::move(accountant)),
+      config_(config) {
+  const std::size_t n = data.num_nodes();
+  if (mixing_.num_nodes() != n) {
+    throw std::invalid_argument("RoundEngine: mixing matrix size != nodes");
+  }
+  if (accountant_.num_nodes() != n) {
+    throw std::invalid_argument("RoundEngine: accountant size != nodes");
+  }
+
+  const nn::SgdOptions sgd{config_.learning_rate, 0.0f, 0.0f};
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(i, prototype, data.node_view(i),
+                                            sgd, config_.seed));
+  }
+
+  const std::size_t dim = prototype.num_parameters();
+  params_half_.assign(n, std::vector<float>(dim));
+  params_current_.assign(n, std::vector<float>(dim));
+  train_flags_.assign(n, 0);
+  local_losses_.assign(n, 0.0);
+  refresh_current_parameters();
+}
+
+void RoundEngine::refresh_current_parameters() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->model().get_parameters(params_current_[i]);
+  }
+}
+
+RoundEngine::RoundOutcome RoundEngine::run_round() {
+  const std::size_t t = round_ + 1;  // Algorithm 2 numbers rounds from 1
+  const std::size_t n = nodes_.size();
+
+  // Phase 1 — decide + account (serial: the accountant is not locked).
+  // Masked exchanges scale the billed model size by the wire fraction
+  // k/dim (the mask is seed-derived, so only values travel).
+  const std::size_t dim =
+      params_half_.empty() ? 0 : params_half_.front().size();
+  std::size_t wire_params = accountant_.model_params();
+  if (config_.sparse_exchange_k != 0 && dim > 0) {
+    const double fraction =
+        static_cast<double>(std::min(config_.sparse_exchange_k, dim)) /
+        static_cast<double>(dim);
+    wire_params = static_cast<std::size_t>(
+        fraction * static_cast<double>(wire_params));
+  }
+  RoundOutcome outcome;
+  outcome.kind = scheduler_.round_kind(t);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool trains =
+        scheduler_.should_train(t, i, accountant_.remaining_budget(i));
+    train_flags_[i] = trains ? 1 : 0;
+    if (trains) {
+      accountant_.record_training(i);
+      ++outcome.nodes_trained;
+    }
+    // Sharing happens every round; compressed exchanges bill fewer bytes.
+    if (config_.sparse_exchange_k == 0) {
+      accountant_.record_exchange(i);
+    } else {
+      accountant_.record_exchange(i, wire_params);
+    }
+  }
+
+  // Phase 2 — local training, parallel over nodes. Writes x^{t-1/2}.
+  util::parallel_for(0, n, [&](std::size_t i) {
+    if (train_flags_[i]) {
+      local_losses_[i] =
+          nodes_[i]->train_local(config_.local_steps, config_.batch_size);
+    }
+    nodes_[i]->model().get_parameters(params_half_[i]);
+  });
+
+  // Phase 3+4 — exchange & aggregate. Reads touch only params_half_,
+  // writes only params_current_.
+  if (config_.sparse_exchange_k == 0) {
+    // Dense: x_i^t = Σ_j W_ji x_j^{t-1/2}.
+    util::parallel_for(0, n, [&](std::size_t i) {
+      auto& out = params_current_[i];
+      const auto& mine = params_half_[i];
+      const float self_w = mixing_.self_weight(i);
+      for (std::size_t k = 0; k < out.size(); ++k) out[k] = self_w * mine[k];
+      for (const auto& entry : mixing_.neighbor_weights(i)) {
+        const auto& theirs = params_half_[entry.neighbor];
+        const float w = entry.weight;
+        for (std::size_t k = 0; k < out.size(); ++k) out[k] += w * theirs[k];
+      }
+      nodes_[i]->model().set_parameters(out);
+    });
+  } else {
+    // Sparse: all nodes exchange the same k random coordinates this round
+    // (mask derived from the shared seed). Since W rows sum to 1:
+    //   x_i^t = x_i^{t-1/2} + Σ_j W_ij Σ_{c ∈ mask_t} (x_j[c] - x_i[c]) e_c.
+    round_mask_ = core::shared_round_mask(config_.seed, t, dim,
+                                          config_.sparse_exchange_k);
+    util::parallel_for(0, n, [&](std::size_t i) {
+      auto& out = params_current_[i];
+      const auto& mine = params_half_[i];
+      std::copy(mine.begin(), mine.end(), out.begin());
+      for (const auto& entry : mixing_.neighbor_weights(i)) {
+        core::accumulate_masked_difference(
+            round_mask_, params_half_[entry.neighbor], mine, out,
+            entry.weight);
+      }
+      nodes_[i]->model().set_parameters(out);
+    });
+  }
+
+  double loss_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (train_flags_[i]) loss_sum += local_losses_[i];
+  }
+  outcome.mean_local_loss =
+      outcome.nodes_trained
+          ? loss_sum / static_cast<double>(outcome.nodes_trained)
+          : 0.0;
+
+  ++round_;
+  return outcome;
+}
+
+void RoundEngine::run_rounds(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) run_round();
+}
+
+}  // namespace skiptrain::sim

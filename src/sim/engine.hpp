@@ -1,0 +1,101 @@
+// The synchronous decentralized-learning round engine.
+//
+// Executes the skeleton shared by D-PSGD, SkipTrain, SkipTrain-constrained
+// and Greedy (Algorithm 2 of the paper): per round t,
+//
+//   1. decide   — ask the RoundScheduler which nodes train (serial, cheap,
+//                 and where all energy accounting happens so the
+//                 accountant needs no locking);
+//   2. train    — selected nodes run E local SGD steps in parallel,
+//                 producing x_i^{t-1/2}; non-training nodes keep x_i^{t-1};
+//   3. exchange — every node shares x^{t-1/2} with its neighbors
+//                 (modelled as reading the peer's snapshot buffer);
+//   4. aggregate— x_i^t = Σ_j W_ji x_j^{t-1/2}, double-buffered so reads
+//                 and writes never alias.
+//
+// Determinism: per-node RNG streams + counter-based scheduler draws make
+// the result independent of worker-thread interleaving.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/compression.hpp"
+#include "core/scheduler.hpp"
+#include "data/dataset.hpp"
+#include "energy/accountant.hpp"
+#include "graph/mixing.hpp"
+#include "nn/sequential.hpp"
+#include "sim/node.hpp"
+
+namespace skiptrain::sim {
+
+struct EngineConfig {
+  std::size_t local_steps = 5;   // E
+  std::size_t batch_size = 32;   // |ξ|
+  float learning_rate = 0.1f;    // η
+  std::uint64_t seed = 42;
+
+  /// When non-zero, each round exchanges only k coordinates selected by a
+  /// round-shared random mask (core::shared_round_mask); receivers keep
+  /// their own values elsewhere. 0 = dense exchange (the paper's setting).
+  /// Communication energy is billed at the compressed wire volume (k/dim —
+  /// the mask is derived from the shared seed, so no indices travel).
+  std::size_t sparse_exchange_k = 0;
+};
+
+class RoundEngine {
+ public:
+  /// All reference parameters must outlive the engine. `prototype`
+  /// supplies the shared initial model x⁰ (cloned per node).
+  RoundEngine(const nn::Sequential& prototype, const data::FederatedData& data,
+              const graph::MixingMatrix& mixing,
+              const core::RoundScheduler& scheduler,
+              energy::EnergyAccountant accountant, EngineConfig config);
+
+  struct RoundOutcome {
+    core::RoundKind kind = core::RoundKind::kTraining;
+    std::size_t nodes_trained = 0;
+    double mean_local_loss = 0.0;  // over nodes that trained
+  };
+
+  /// Executes one full round; `rounds_executed()` becomes t afterwards.
+  RoundOutcome run_round();
+
+  /// Convenience: runs `count` consecutive rounds.
+  void run_rounds(std::size_t count);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t rounds_executed() const { return round_; }
+
+  nn::Sequential& model(std::size_t node) { return nodes_[node]->model(); }
+  std::span<std::unique_ptr<Node>> nodes() { return nodes_; }
+
+  /// Snapshot of every node's current parameters x_i^t.
+  const std::vector<std::vector<float>>& node_parameters() const {
+    return params_current_;
+  }
+
+  const energy::EnergyAccountant& accountant() const { return accountant_; }
+  const core::RoundScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  void refresh_current_parameters();
+
+  const graph::MixingMatrix& mixing_;
+  const core::RoundScheduler& scheduler_;
+  energy::EnergyAccountant accountant_;
+  EngineConfig config_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::size_t round_ = 0;
+
+  // Double buffers: params_half_[i] = x_i^{t-1/2}, params_current_[i] = x_i^t.
+  std::vector<std::vector<float>> params_half_;
+  std::vector<std::vector<float>> params_current_;
+  std::vector<std::uint32_t> round_mask_;  // sparse_exchange_k mode
+  std::vector<char> train_flags_;
+  std::vector<double> local_losses_;
+};
+
+}  // namespace skiptrain::sim

@@ -1,0 +1,33 @@
+#include "sim/node.hpp"
+
+#include "nn/loss.hpp"
+
+namespace skiptrain::sim {
+
+Node::Node(std::size_t id, const nn::Sequential& prototype,
+           data::DatasetView data, nn::SgdOptions sgd, std::uint64_t seed)
+    : id_(id),
+      model_(prototype.clone()),
+      optimizer_(sgd),
+      data_(std::move(data)),
+      rng_(util::hash_combine(seed, 0x0de50000ULL + id)) {}
+
+double Node::train_local(std::size_t local_steps, std::size_t batch_size) {
+  double total_loss = 0.0;
+  for (std::size_t step = 0; step < local_steps; ++step) {
+    data_.sample_batch(rng_, batch_size, batch_features_, batch_labels_);
+    model_.zero_grad();
+    const tensor::Tensor& logits = model_.forward(batch_features_);
+    if (grad_logits_.shape() != logits.shape()) {
+      grad_logits_ = tensor::Tensor(logits.shape());
+    }
+    const nn::LossResult result =
+        nn::softmax_cross_entropy(logits, batch_labels_, grad_logits_);
+    model_.backward(batch_features_, grad_logits_);
+    optimizer_.step(model_);
+    total_loss += result.loss;
+  }
+  return local_steps > 0 ? total_loss / static_cast<double>(local_steps) : 0.0;
+}
+
+}  // namespace skiptrain::sim

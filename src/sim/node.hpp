@@ -1,0 +1,43 @@
+// Per-node simulation state: the private model replica, optimizer, local
+// data shard and RNG stream. One instance per simulated device.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace skiptrain::sim {
+
+class Node {
+ public:
+  /// `prototype` supplies architecture AND initial weights — every node
+  /// starts from the same x⁰ as the D-PSGD analysis assumes.
+  Node(std::size_t id, const nn::Sequential& prototype,
+       data::DatasetView data, nn::SgdOptions sgd, std::uint64_t seed);
+
+  std::size_t id() const { return id_; }
+  nn::Sequential& model() { return model_; }
+  const nn::Sequential& model() const { return model_; }
+  data::DatasetView& data() { return data_; }
+
+  /// Executes E steps of mini-batch SGD on the local shard (Algorithm 2,
+  /// lines 8-10). Returns the mean training loss across the steps.
+  double train_local(std::size_t local_steps, std::size_t batch_size);
+
+ private:
+  std::size_t id_;
+  nn::Sequential model_;
+  nn::SgdOptimizer optimizer_;
+  data::DatasetView data_;
+  util::Rng rng_;
+  // Scratch buffers reused across rounds to avoid per-step allocation.
+  tensor::Tensor batch_features_;
+  std::vector<std::int32_t> batch_labels_;
+  tensor::Tensor grad_logits_;
+};
+
+}  // namespace skiptrain::sim

@@ -1,0 +1,94 @@
+// High-level experiment API: one call runs a full decentralized-learning
+// experiment (dataset -> topology -> scheduler -> engine -> metrics) and
+// returns the recorded series. This is the entry point the examples and
+// bench harnesses build on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "data/dataset.hpp"
+#include "energy/device.hpp"
+#include "metrics/recorder.hpp"
+#include "nn/sequential.hpp"
+
+namespace skiptrain::sim {
+
+enum class Algorithm {
+  kDpsgd,                 // Algorithm 1 baseline
+  kDpsgdAllReduce,        // D-PSGD with global averaging (Figure 1 upper bound)
+  kSkipTrain,             // §3.1
+  kSkipTrainConstrained,  // §3.2
+  kGreedy,                // §3.2 baseline
+};
+
+[[nodiscard]] const char* algorithm_name(Algorithm algorithm);
+
+struct RunOptions {
+  Algorithm algorithm = Algorithm::kSkipTrain;
+  std::size_t gamma_train = 4;  // Γtrain (SkipTrain variants)
+  std::size_t gamma_sync = 4;   // Γsync
+  std::size_t total_rounds = 240;
+
+  // Topology: random d-regular graph (the paper's setting).
+  std::size_t degree = 6;
+
+  // Local training (Table 1 analogues; defaults are the scaled config).
+  std::size_t local_steps = 5;
+  std::size_t batch_size = 32;
+  float learning_rate = 0.1f;
+
+  // Optional masked sparse exchange: k coordinates per round from a
+  // round-shared random mask (0 = dense, the paper's setting).
+  std::size_t sparse_exchange_k = 0;
+
+  // Energy model: which paper workload's traces/budgets to charge.
+  energy::Workload workload = energy::Workload::kCifar10;
+
+  // Scales the canonical τ_i budgets (Table 2). Scaled-horizon experiments
+  // should set this to total_rounds / paper_total_rounds so that budgets
+  // bind at the same proportion of the run as in the paper.
+  double budget_scale = 1.0;
+
+  // Evaluation.
+  std::size_t eval_every = 0;        // 0 = every Γtrain+Γsync rounds (paper)
+  std::size_t eval_max_samples = 1000;  // cap eval sweep for speed (0 = all)
+  bool eval_on_validation = false;   // default: test split
+  bool evaluate_allreduce = false;   // also score the averaged model
+  bool track_consensus = false;
+
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  metrics::Recorder recorder{"unnamed"};
+  std::string algorithm;
+  std::string dataset;
+  std::size_t nodes = 0;
+  std::size_t degree = 0;
+
+  double final_mean_accuracy = 0.0;
+  double final_std_accuracy = 0.0;
+  double final_allreduce_accuracy = 0.0;
+  double best_mean_accuracy = 0.0;
+
+  double total_training_wh = 0.0;
+  double total_comm_wh = 0.0;
+  double fleet_budget_wh = 0.0;  // Σ τ_i · e_i (Table 4's ceiling)
+
+  /// Coordinated training rounds actually scheduled (≤ total_rounds).
+  std::size_t coordinated_training_rounds = 0;
+
+  /// Final per-node test accuracies (index = node id); feeds the §5.1
+  /// device-fairness analysis.
+  std::vector<double> final_per_node_accuracy;
+};
+
+/// Runs one experiment. `prototype` is the initial model shared by all
+/// nodes (initialise it before calling, e.g. with nn::initialize).
+ExperimentResult run_experiment(const data::FederatedData& data,
+                                const nn::Sequential& prototype,
+                                const RunOptions& options);
+
+}  // namespace skiptrain::sim

@@ -1,0 +1,141 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace skiptrain::tensor {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  const float* __restrict__ xs = x.data();
+  float* __restrict__ ys = y.data();
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (auto& v : x) v *= alpha;
+}
+
+void copy(std::span<const float> src, std::span<float> dst) {
+  assert(src.size() == dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void subtract(std::span<const float> a, std::span<const float> b,
+              std::span<float> out) {
+  assert(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double squared_norm(std::span<const float> x) { return dot(x, x); }
+
+double l2_distance(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void gemm_nn(std::size_t m, std::size_t k, std::size_t n,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float beta) {
+  assert(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n);
+  // i-k-j loop order: the inner loop streams both B's row and C's row,
+  // which vectorises well and is cache-friendly for row-major storage.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* __restrict__ ci = c.data() + i * n;
+    if (beta == 0.0f) {
+      std::fill(ci, ci + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const float* __restrict__ ai = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* __restrict__ bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_nt(std::size_t m, std::size_t k, std::size_t n,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float beta) {
+  assert(a.size() >= m * k && b.size() >= n * k && c.size() >= m * n);
+  // C[i,j] = <A_row_i, B_row_j>: both operands stream contiguously.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* __restrict__ ai = a.data() + i * k;
+    float* __restrict__ ci = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* __restrict__ bj = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = beta * (beta == 0.0f ? 0.0f : ci[j]) + acc;
+    }
+  }
+}
+
+void gemm_tn(std::size_t m, std::size_t k, std::size_t n,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float beta) {
+  assert(a.size() >= k * m && b.size() >= k * n && c.size() >= m * n);
+  if (beta == 0.0f) {
+    std::fill(c.begin(), c.begin() + static_cast<std::ptrdiff_t>(m * n), 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  // C[i,j] += A[p,i] * B[p,j]: accumulate outer products row-by-row of the
+  // shared dimension; inner loop is contiguous over B and C.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* __restrict__ ap = a.data() + p * m;
+    const float* __restrict__ bp = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float api = ap[i];
+      if (api == 0.0f) continue;
+      float* __restrict__ ci = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+void softmax_rows(std::size_t rows, std::size_t cols, std::span<float> x) {
+  assert(x.size() >= rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* __restrict__ row = x.data() + r * cols;
+    float max_val = row[0];
+    for (std::size_t c = 1; c < cols; ++c) max_val = std::max(max_val, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - max_val);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+std::size_t argmax(std::span<const float> x) {
+  assert(!x.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace skiptrain::tensor

@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace skiptrain::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), path_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write_row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::runtime_error("CsvWriter: row width " +
+                             std::to_string(cells.size()) +
+                             " != header width " + std::to_string(columns_));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) formatted.push_back(format_double(v));
+  write_row(formatted);
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream stream;
+  stream.precision(precision);
+  stream << value;
+  return stream.str();
+}
+
+}  // namespace skiptrain::util

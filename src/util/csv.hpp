@@ -1,0 +1,42 @@
+// Minimal CSV emission for experiment outputs. Every bench harness can dump
+// its series to a .csv next to the console rendering so results are easy to
+// re-plot.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skiptrain::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; the cell count must match the header width.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  void write_row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+  std::size_t rows_written() const { return rows_; }
+
+  /// Escapes a cell per RFC 4180 (quotes cells containing , " or newline).
+  static std::string escape(std::string_view cell);
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double compactly ("0.5", "1510.04", "6.5e-05").
+[[nodiscard]] std::string format_double(double value, int precision = 6);
+
+}  // namespace skiptrain::util

@@ -1,0 +1,87 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skiptrain::util {
+
+void RunningStat::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+template <typename T>
+Summary summarize_impl(std::span<const T> values) {
+  RunningStat stat;
+  for (const T v : values) stat.add(static_cast<double>(v));
+  return Summary{stat.count(), stat.mean(), stat.stddev(), stat.min(),
+                 stat.max()};
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  return summarize_impl(values);
+}
+
+Summary summarize(std::span<const float> values) {
+  return summarize_impl(values);
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (const double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace skiptrain::util

@@ -1,0 +1,59 @@
+// Streaming and batch statistics used by the metrics/energy subsystems.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace skiptrain::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm) with
+/// support for merging partial accumulators (Chan et al.), which lets the
+/// evaluator accumulate per-thread and combine.
+class RunningStat {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (σ², divides by n). Returns 0 for n < 2.
+  double variance() const;
+  /// Sample variance (divides by n-1). Returns 0 for n < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One-shot summary of a value span.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+[[nodiscard]] Summary summarize(std::span<const float> values);
+
+/// Linear-interpolated quantile (q in [0,1]) of an unsorted span.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Arithmetic mean of a span (0 for empty spans).
+[[nodiscard]] double mean_of(std::span<const double> values);
+
+}  // namespace skiptrain::util

@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace skiptrain::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::runtime_error("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << cells[c] << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  out << '|';
+  for (const std::size_t w : widths) {
+    out << std::string(w + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string render_grid(const std::string& title,
+                        const std::vector<std::string>& row_labels,
+                        const std::vector<std::string>& col_labels,
+                        const std::vector<std::vector<double>>& values,
+                        int precision) {
+  if (values.size() != row_labels.size()) {
+    throw std::runtime_error("render_grid: row count mismatch");
+  }
+  std::ostringstream out;
+  out << title << '\n';
+
+  std::size_t label_width = 0;
+  for (const auto& l : row_labels) label_width = std::max(label_width, l.size());
+
+  std::size_t cell_width = 6;
+  for (const auto& col : col_labels) cell_width = std::max(cell_width, col.size());
+  for (const auto& row : values) {
+    for (const double v : row) {
+      cell_width = std::max(cell_width, fixed(v, precision).size());
+    }
+  }
+
+  out << std::string(label_width + 2, ' ');
+  for (const auto& col : col_labels) {
+    out << std::right << std::setw(static_cast<int>(cell_width + 1)) << col;
+  }
+  out << '\n';
+
+  for (std::size_t r = 0; r < values.size(); ++r) {
+    if (values[r].size() != col_labels.size()) {
+      throw std::runtime_error("render_grid: column count mismatch");
+    }
+    out << std::left << std::setw(static_cast<int>(label_width + 2))
+        << row_labels[r];
+    for (const double v : values[r]) {
+      out << std::right << std::setw(static_cast<int>(cell_width + 1))
+          << fixed(v, precision);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string fixed(double value, int precision) {
+  std::ostringstream stream;
+  stream << std::fixed << std::setprecision(precision) << value;
+  return stream.str();
+}
+
+}  // namespace skiptrain::util

@@ -1,0 +1,43 @@
+// Console rendering for the bench harnesses: aligned tables (for the
+// paper's Tables 1-4) and numeric grids (for the Figure 3 heatmaps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace skiptrain::util {
+
+/// Builds a fixed-column text table and renders it with aligned separators:
+///
+///   | Algorithm | Dataset  | 6-regular | ... |
+///   |-----------|----------|-----------|-----|
+///   | SkipTrain | CIFAR-10 |    755.02 | ... |
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the full table to a string (trailing newline included).
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a rows x cols numeric grid with row/column labels, mirroring the
+/// layout of the paper's Figure 3 heatmaps. `title` is printed above.
+/// Values are formatted with `precision` decimal digits.
+[[nodiscard]] std::string render_grid(
+    const std::string& title, const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& col_labels,
+    const std::vector<std::vector<double>>& values, int precision = 1);
+
+/// Formats a value as a fixed-precision string ("66.1").
+[[nodiscard]] std::string fixed(double value, int precision = 2);
+
+}  // namespace skiptrain::util

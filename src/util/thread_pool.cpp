@@ -1,0 +1,132 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace skiptrain::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  worker_ids_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+    worker_ids_.push_back(workers_.back().get_id());
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+bool ThreadPool::on_worker_thread() const {
+  const auto self = std::this_thread::get_id();
+  return std::find(worker_ids_.begin(), worker_ids_.end(), self) !=
+         worker_ids_.end();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_chunks(begin, end,
+                      [&fn, grain](std::size_t lo, std::size_t hi) {
+                        (void)grain;
+                        for (std::size_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  // Serial fallbacks: trivial ranges, or re-entrant calls from a worker.
+  if (count == 1 || workers_.empty() || on_worker_thread()) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t num_chunks = std::min(count, workers_.size());
+  const std::size_t base = count / num_chunks;
+  const std::size_t remainder = count % num_chunks;
+
+  std::atomic<std::size_t> remaining{num_chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  std::size_t offset = begin;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t len = base + (c < remainder ? 1 : 0);
+    const std::size_t lo = offset;
+    const std::size_t hi = offset + len;
+    offset = hi;
+    submit([&, lo, hi] {
+      fn(lo, hi);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SKIPTRAIN_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(begin, end, fn, grain);
+}
+
+}  // namespace skiptrain::util

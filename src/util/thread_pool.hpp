@@ -1,0 +1,77 @@
+// A small fixed-size worker pool used to parallelise per-node work in the
+// decentralized-learning simulator (local SGD steps, aggregation, accuracy
+// evaluation). Work is submitted either as individual tasks or through
+// parallel_for, which block-partitions an index range.
+//
+// Nested-parallelism policy: calling parallel_for from inside a worker
+// thread executes the loop serially on the calling thread. This keeps call
+// sites composable (an evaluator may be called both from main and from a
+// worker) without risking deadlock on a bounded pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace skiptrain::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [begin, end), partitioned into contiguous blocks
+  /// across the workers, and blocks until completion. `grain` bounds the
+  /// smallest block size (reduces scheduling overhead for cheap bodies).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Like parallel_for but hands each worker a [chunk_begin, chunk_end)
+  /// range, letting the body amortise per-chunk setup.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Process-wide pool sized from SKIPTRAIN_THREADS (if set) or the
+  /// hardware concurrency. Constructed on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::vector<std::thread::id> worker_ids_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+}  // namespace skiptrain::util

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace skiptrain::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "skiptrain_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"round", "accuracy"});
+    csv.write_row(std::vector<std::string>{"1", "0.5"});
+    csv.write_row(std::vector<double>{2.0, 0.625});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_file(path_), "round,accuracy\n1,0.5\n2,0.625\n");
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.write_row(std::vector<std::string>{"only-one"}),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("multi\nline"), "\"multi\nline\"");
+}
+
+TEST(CsvFormat, FormatDouble) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(1510.04), "1510.04");
+}
+
+TEST(CsvWriterErrors, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+TEST(Table, RendersAlignedRows) {
+  TablePrinter table({"Algorithm", "Energy"});
+  table.add_row({"SkipTrain", "755.02"});
+  table.add_row({"D-PSGD", "1510.04"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("| Algorithm | Energy  |"), std::string::npos);
+  EXPECT_NE(rendered.find("| SkipTrain | 755.02  |"), std::string::npos);
+  EXPECT_NE(rendered.find("| D-PSGD    | 1510.04 |"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(rendered.find("|--"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::runtime_error);
+}
+
+TEST(Grid, RendersRowsAndColumns) {
+  const std::string grid = render_grid(
+      "validation accuracy", {"G=1", "G=2"}, {"1", "2", "3"},
+      {{59.7, 61.4, 63.1}, {60.6, 64.1, 65.0}}, 1);
+  EXPECT_NE(grid.find("validation accuracy"), std::string::npos);
+  EXPECT_NE(grid.find("59.7"), std::string::npos);
+  EXPECT_NE(grid.find("65.0"), std::string::npos);
+  EXPECT_NE(grid.find("G=2"), std::string::npos);
+}
+
+TEST(Grid, ShapeMismatchThrows) {
+  EXPECT_THROW(render_grid("t", {"r1"}, {"c1"}, {{1.0, 2.0}}),
+               std::runtime_error);
+  EXPECT_THROW(render_grid("t", {"r1", "r2"}, {"c1"}, {{1.0}}),
+               std::runtime_error);
+}
+
+TEST(Fixed, Formatting) {
+  EXPECT_EQ(fixed(66.123, 1), "66.1");
+  EXPECT_EQ(fixed(66.0, 2), "66.00");
+  EXPECT_EQ(fixed(-1.25, 2), "-1.25");
+}
+
+}  // namespace
+}  // namespace skiptrain::util

@@ -1,0 +1,231 @@
+// End-to-end experiments through the public run_experiment API. These are
+// scaled-down versions of the paper's headline comparisons; assertions
+// check the qualitative claims (orderings, ratios), not absolute numbers.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/runner.hpp"
+
+namespace skiptrain::sim {
+namespace {
+
+struct TestBed {
+  data::FederatedData data;
+  nn::Sequential model;
+
+  explicit TestBed(std::size_t nodes = 16) {
+    data::CifarSynConfig config;
+    config.nodes = nodes;
+    config.samples_per_node = 60;
+    config.test_pool = 600;
+    config.seed = 4242;
+    data = data::make_cifar_synthetic(config);
+    model = nn::make_compact_cifar_model(config.feature_dim);
+    util::Rng rng(4242);
+    nn::initialize(model, rng);
+  }
+};
+
+RunOptions base_options() {
+  RunOptions options;
+  options.total_rounds = 64;
+  options.degree = 4;
+  options.local_steps = 3;
+  options.batch_size = 16;
+  options.learning_rate = 0.05f;
+  options.eval_every = 16;
+  options.eval_max_samples = 300;
+  options.seed = 11;
+  return options;
+}
+
+TEST(Integration, DpsgdLearnsAboveChance) {
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kDpsgd;
+  const ExperimentResult result = run_experiment(bed.data, bed.model, options);
+
+  EXPECT_GT(result.final_mean_accuracy, 0.3);  // 10 classes, chance = 0.1
+  EXPECT_EQ(result.nodes, 16u);
+  EXPECT_EQ(result.coordinated_training_rounds, 64u);
+  EXPECT_FALSE(result.recorder.empty());
+}
+
+TEST(Integration, SkipTrainHalvesEnergyAndKeepsAccuracy) {
+  // The paper's regime needs enough local drift for synchronization rounds
+  // to pay off: many local steps, non-trivial learning rate, and a horizon
+  // long enough for D-PSGD to plateau (cf. the §4.5 configuration).
+  TestBed bed;
+  RunOptions options = base_options();
+  options.total_rounds = 160;
+  options.local_steps = 10;
+  options.learning_rate = 0.1f;
+  options.eval_every = 160;
+  options.eval_max_samples = 600;
+
+  options.algorithm = Algorithm::kDpsgd;
+  const ExperimentResult dpsgd = run_experiment(bed.data, bed.model, options);
+
+  options.algorithm = Algorithm::kSkipTrain;
+  options.gamma_train = 4;
+  options.gamma_sync = 4;
+  const ExperimentResult skip = run_experiment(bed.data, bed.model, options);
+
+  // Energy: half the training rounds -> half the training energy (Γt = Γs
+  // and 160 | 8, so exactly half the rounds train).
+  EXPECT_NEAR(skip.total_training_wh, dpsgd.total_training_wh / 2.0,
+              dpsgd.total_training_wh * 0.02);
+  // Accuracy: SkipTrain at least matches D-PSGD at equal rounds under the
+  // 2-shard non-IID split (the paper reports it strictly higher).
+  EXPECT_GT(skip.final_mean_accuracy, dpsgd.final_mean_accuracy - 0.005);
+  // Communication energy is the same for both (sharing every round).
+  EXPECT_NEAR(skip.total_comm_wh, dpsgd.total_comm_wh,
+              dpsgd.total_comm_wh * 0.01);
+}
+
+TEST(Integration, AllReduceBeatsDpsgdMeanAccuracy) {
+  // Figure 1: per-round all-reduce is a strict upper bound on gossip.
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kDpsgd;
+  const ExperimentResult dpsgd = run_experiment(bed.data, bed.model, options);
+
+  options.algorithm = Algorithm::kDpsgdAllReduce;
+  const ExperimentResult allreduce =
+      run_experiment(bed.data, bed.model, options);
+
+  EXPECT_GT(allreduce.final_mean_accuracy,
+            dpsgd.final_mean_accuracy - 0.02);
+  // All-reduced nodes agree, so the accuracy spread collapses.
+  EXPECT_LT(allreduce.final_std_accuracy, 0.01);
+}
+
+TEST(Integration, SyncRoundsReduceAccuracySpread) {
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kDpsgd;
+  const ExperimentResult dpsgd = run_experiment(bed.data, bed.model, options);
+
+  options.algorithm = Algorithm::kSkipTrain;
+  options.gamma_train = 2;
+  options.gamma_sync = 6;
+  const ExperimentResult skip = run_experiment(bed.data, bed.model, options);
+
+  // Heavier synchronization narrows the per-node spread under non-IID.
+  EXPECT_LT(skip.final_std_accuracy, dpsgd.final_std_accuracy + 0.01);
+}
+
+TEST(Integration, RecorderSeriesIsMonotoneInEnergy) {
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kSkipTrain;
+  const ExperimentResult result = run_experiment(bed.data, bed.model, options);
+
+  double previous = -1.0;
+  for (const auto& record : result.recorder.records()) {
+    EXPECT_GE(record.train_energy_wh, previous);
+    previous = record.train_energy_wh;
+    EXPECT_GE(record.mean_accuracy, 0.0);
+    EXPECT_LE(record.mean_accuracy, 1.0);
+  }
+  EXPECT_EQ(result.recorder.last().round, options.total_rounds);
+}
+
+TEST(Integration, DeterministicGivenSeed) {
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kSkipTrain;
+  const ExperimentResult a = run_experiment(bed.data, bed.model, options);
+  const ExperimentResult b = run_experiment(bed.data, bed.model, options);
+  EXPECT_DOUBLE_EQ(a.final_mean_accuracy, b.final_mean_accuracy);
+  EXPECT_DOUBLE_EQ(a.total_training_wh, b.total_training_wh);
+
+  options.seed = 999;
+  const ExperimentResult c = run_experiment(bed.data, bed.model, options);
+  EXPECT_NE(a.final_mean_accuracy, c.final_mean_accuracy);
+}
+
+TEST(Integration, ConstrainedStaysWithinFleetBudget) {
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kSkipTrainConstrained;
+  options.total_rounds = 48;
+  const ExperimentResult result = run_experiment(bed.data, bed.model, options);
+
+  // Realized spend can never exceed the fleet budget Σ τ_i e_i.
+  EXPECT_LE(result.total_training_wh, result.fleet_budget_wh + 1e-9);
+  EXPECT_GT(result.final_mean_accuracy, 0.2);
+}
+
+TEST(Integration, GreedyMatchesDpsgdWhileBudgetLasts) {
+  // With the canonical budgets (hundreds of rounds) and a short horizon,
+  // Greedy never exhausts its budget, so it behaves exactly like D-PSGD.
+  TestBed bed;
+  RunOptions options = base_options();
+  options.total_rounds = 32;
+  options.algorithm = Algorithm::kGreedy;
+  const ExperimentResult greedy = run_experiment(bed.data, bed.model, options);
+  options.algorithm = Algorithm::kDpsgd;
+  const ExperimentResult dpsgd = run_experiment(bed.data, bed.model, options);
+
+  EXPECT_DOUBLE_EQ(greedy.final_mean_accuracy, dpsgd.final_mean_accuracy);
+  EXPECT_DOUBLE_EQ(greedy.total_training_wh, dpsgd.total_training_wh);
+}
+
+TEST(Integration, EvalOnValidationUsesDifferentSplit) {
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kSkipTrain;
+  options.eval_on_validation = true;
+  const ExperimentResult validation =
+      run_experiment(bed.data, bed.model, options);
+  options.eval_on_validation = false;
+  const ExperimentResult test = run_experiment(bed.data, bed.model, options);
+  // Same training dynamics, different evaluation split: accuracies should
+  // be close but not identical.
+  EXPECT_NE(validation.final_mean_accuracy, test.final_mean_accuracy);
+  EXPECT_NEAR(validation.final_mean_accuracy, test.final_mean_accuracy, 0.15);
+}
+
+TEST(Integration, AllReduceEvaluationTracksAveragedModel) {
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kDpsgd;
+  options.evaluate_allreduce = true;
+  const ExperimentResult result = run_experiment(bed.data, bed.model, options);
+  // The averaged model generalizes at least as well as the node mean under
+  // strong non-IID (Figure 1's core observation), modulo small-scale noise.
+  EXPECT_GT(result.final_allreduce_accuracy,
+            result.final_mean_accuracy - 0.03);
+}
+
+TEST(Integration, SparseExchangeReducesCommEnergyOnly) {
+  TestBed bed;
+  RunOptions options = base_options();
+  options.algorithm = Algorithm::kSkipTrain;
+  options.total_rounds = 32;
+  const ExperimentResult dense = run_experiment(bed.data, bed.model, options);
+
+  options.sparse_exchange_k = bed.model.num_parameters() / 10;
+  const ExperimentResult sparse = run_experiment(bed.data, bed.model, options);
+
+  // Wire fraction k/dim = 0.1 -> comm energy drops to ~10%.
+  EXPECT_NEAR(sparse.total_comm_wh, 0.1 * dense.total_comm_wh,
+              0.02 * dense.total_comm_wh);
+  EXPECT_DOUBLE_EQ(sparse.total_training_wh, dense.total_training_wh);
+  // Mild compression at this level: accuracy stays in the same ballpark.
+  EXPECT_NEAR(sparse.final_mean_accuracy, dense.final_mean_accuracy, 0.1);
+}
+
+TEST(Integration, AlgorithmNames) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kDpsgd), "D-PSGD");
+  EXPECT_STREQ(algorithm_name(Algorithm::kSkipTrain), "SkipTrain");
+  EXPECT_STREQ(algorithm_name(Algorithm::kSkipTrainConstrained),
+               "SkipTrain-constrained");
+  EXPECT_STREQ(algorithm_name(Algorithm::kGreedy), "Greedy");
+}
+
+}  // namespace
+}  // namespace skiptrain::sim

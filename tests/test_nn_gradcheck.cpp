@@ -1,0 +1,221 @@
+// Finite-difference verification of every backward pass. These tests are
+// the correctness oracle for the hand-written autodiff.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/groupnorm.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/pool.hpp"
+#include "util/rng.hpp"
+
+namespace skiptrain::nn {
+namespace {
+
+struct GradCase {
+  std::string name;
+  Sequential model;
+  tensor::Shape input_shape;
+  std::size_t classes;
+};
+
+Sequential build_linear_relu() {
+  Sequential m;
+  m.emplace<Linear>(6, 8);
+  m.emplace<ReLU>();
+  m.emplace<Linear>(8, 4);
+  return m;
+}
+
+Sequential build_tanh_net() {
+  Sequential m;
+  m.emplace<Linear>(5, 7);
+  m.emplace<Tanh>();
+  m.emplace<Linear>(7, 3);
+  return m;
+}
+
+// Smooth (tanh) variants isolate the layer under test from the
+// finite-difference kink problem: perturbing a weight by eps can flip a
+// ReLU sign or a max-pool argmax, making the numeric derivative wrong at
+// that point even though the analytic gradient is correct. Kink-bearing
+// nets are tested separately with a small failure allowance.
+Sequential build_conv_net() {
+  Sequential m;
+  m.emplace<Conv2d>(2, 3, 3, 1, 1);
+  m.emplace<Tanh>();
+  m.emplace<Flatten>();
+  m.emplace<Linear>(3 * 6 * 6, 4);
+  return m;
+}
+
+Sequential build_relu_conv_net() {
+  Sequential m;
+  m.emplace<Conv2d>(2, 3, 3, 1, 1);
+  m.emplace<ReLU>();
+  m.emplace<Flatten>();
+  m.emplace<Linear>(3 * 6 * 6, 4);
+  return m;
+}
+
+Sequential build_strided_conv_net() {
+  Sequential m;
+  m.emplace<Conv2d>(1, 2, 3, 2, 1);
+  m.emplace<Tanh>();
+  m.emplace<Flatten>();
+  m.emplace<Linear>(2 * 4 * 4, 3);
+  return m;
+}
+
+Sequential build_pool_net() {
+  Sequential m;
+  m.emplace<Conv2d>(1, 2, 3, 1, 1);
+  m.emplace<Tanh>();
+  m.emplace<MaxPool2d>(2);
+  m.emplace<Flatten>();
+  m.emplace<Linear>(2 * 3 * 3, 3);
+  return m;
+}
+
+Sequential build_groupnorm_net() {
+  Sequential m;
+  m.emplace<Conv2d>(1, 4, 3, 1, 1);
+  m.emplace<GroupNorm>(2, 4);
+  m.emplace<Tanh>();
+  m.emplace<Flatten>();
+  m.emplace<Linear>(4 * 4 * 4, 3);
+  return m;
+}
+
+GradCheckResult run_case(Sequential& model, const tensor::Shape& input_shape,
+                         std::size_t classes, std::uint64_t seed,
+                         std::size_t max_params = 0) {
+  util::Rng rng(seed);
+  initialize(model, rng);
+  tensor::Tensor input(input_shape);
+  rng.fill_normal(input.data(), 0.0f, 1.0f);
+  std::vector<std::int32_t> labels(input_shape[0]);
+  for (auto& label : labels) {
+    label = static_cast<std::int32_t>(rng.uniform_int(classes));
+  }
+  return gradient_check(model, input, labels, /*eps=*/1e-2, max_params);
+}
+
+TEST(GradCheck, LinearReluNetwork) {
+  Sequential model = build_linear_relu();
+  const auto result = run_case(model, {4, 6}, 4, 11);
+  EXPECT_EQ(result.failures, 0u) << "max_abs=" << result.max_abs_error;
+  EXPECT_GT(result.checked, 50u);
+}
+
+TEST(GradCheck, TanhNetwork) {
+  Sequential model = build_tanh_net();
+  const auto result = run_case(model, {3, 5}, 3, 12);
+  EXPECT_EQ(result.failures, 0u) << "max_abs=" << result.max_abs_error;
+}
+
+TEST(GradCheck, ConvNetworkSamePadding) {
+  Sequential model = build_conv_net();
+  const auto result = run_case(model, {2, 2, 6, 6}, 4, 13);
+  EXPECT_EQ(result.failures, 0u) << "max_abs=" << result.max_abs_error;
+}
+
+TEST(GradCheck, ReluConvNetworkAllowsKinkCrossings) {
+  // eps-perturbations can flip ReLU signs; a handful of numeric mismatches
+  // are expected and are NOT analytic-gradient bugs (see the tanh variant
+  // above, which must be exact).
+  Sequential model = build_relu_conv_net();
+  const auto result = run_case(model, {2, 2, 6, 6}, 4, 13);
+  EXPECT_LE(result.failures, result.checked / 25)
+      << "max_abs=" << result.max_abs_error;
+}
+
+TEST(GradCheck, StridedConvNetwork) {
+  Sequential model = build_strided_conv_net();
+  const auto result = run_case(model, {2, 1, 8, 8}, 3, 14);
+  EXPECT_EQ(result.failures, 0u) << "max_abs=" << result.max_abs_error;
+}
+
+TEST(GradCheck, MaxPoolNetwork) {
+  // Max-pool argmax can flip under eps-perturbation (a kink); allow a
+  // small number of numeric mismatches.
+  Sequential model = build_pool_net();
+  const auto result = run_case(model, {2, 1, 6, 6}, 3, 15);
+  EXPECT_LE(result.failures, result.checked / 25)
+      << "max_abs=" << result.max_abs_error;
+}
+
+TEST(GradCheck, GroupNormNetwork) {
+  Sequential model = build_groupnorm_net();
+  const auto result = run_case(model, {2, 1, 4, 4}, 3, 16);
+  EXPECT_EQ(result.failures, 0u) << "max_abs=" << result.max_abs_error;
+}
+
+TEST(GradCheck, SoftmaxRegression) {
+  Sequential model = make_softmax_regression(8, 5);
+  const auto result = run_case(model, {6, 8}, 5, 17);
+  EXPECT_EQ(result.failures, 0u) << "max_abs=" << result.max_abs_error;
+}
+
+TEST(GradCheck, PaperCifarCnnSubsampled) {
+  // The full GN-LeNet has 89834 parameters; probe a strided subset of 200.
+  Sequential full = make_cifar_cnn();
+  util::Rng rng(19);
+  initialize(full, rng);
+  tensor::Tensor input({1, 3, 32, 32});
+  rng.fill_normal(input.data(), 0.0f, 1.0f);
+  std::vector<std::int32_t> labels{3};
+  const auto full_result =
+      gradient_check(full, input, labels, 1e-2, /*max_params=*/200);
+  // ReLU + max-pool kinks: tolerate a small share of numeric mismatches
+  // (the smooth per-layer tests above must be exact).
+  EXPECT_LE(full_result.failures, full_result.checked / 5)
+      << "max_abs=" << full_result.max_abs_error
+      << " failures=" << full_result.failures << "/" << full_result.checked;
+}
+
+TEST(GradCheck, MultiBatchGradientsAverage) {
+  // Gradient wrt a batch of B identical samples equals the single-sample
+  // gradient (cross-entropy averages over the batch).
+  Sequential model_single = make_mlp(4, {6}, 3);
+  util::Rng rng(21);
+  initialize(model_single, rng);
+  Sequential model_batch = model_single.clone();
+
+  tensor::Tensor one({1, 4});
+  rng.fill_normal(one.data(), 0.0f, 1.0f);
+  tensor::Tensor batch({5, 4});
+  for (std::size_t b = 0; b < 5; ++b) {
+    for (std::size_t i = 0; i < 4; ++i) batch.at(b, i) = one.at(0, i);
+  }
+  std::vector<std::int32_t> label_one{1};
+  std::vector<std::int32_t> label_batch(5, 1);
+
+  const auto grads_of = [](Sequential& model, const tensor::Tensor& input,
+                           std::span<const std::int32_t> labels) {
+    model.zero_grad();
+    const tensor::Tensor& logits = model.forward(input);
+    tensor::Tensor grad_logits(logits.shape());
+    softmax_cross_entropy(logits, labels, grad_logits);
+    model.backward(input, grad_logits);
+    std::vector<float> grads(model.num_parameters());
+    model.get_gradients(grads);
+    return grads;
+  };
+
+  const auto g1 = grads_of(model_single, one, label_one);
+  const auto g5 = grads_of(model_batch, batch, label_batch);
+  ASSERT_EQ(g1.size(), g5.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g1[i], g5[i], 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace skiptrain::nn

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/equations.hpp"
+#include "core/scheduler.hpp"
+
+namespace skiptrain::core {
+namespace {
+
+TEST(Equations, ExpectedTrainingRounds) {
+  // Eq. 4 examples from the paper (§4.3): Γt=Γs -> T/2; Γt=4, Γs=2 on
+  // T=1000 -> ~667 (the paper quotes 666).
+  EXPECT_DOUBLE_EQ(expected_training_rounds(4, 4, 1000), 500.0);
+  EXPECT_NEAR(expected_training_rounds(4, 2, 1000), 666.67, 0.01);
+  EXPECT_DOUBLE_EQ(expected_training_rounds(1, 4, 1000), 200.0);
+  EXPECT_THROW(expected_training_rounds(0, 4, 100), std::invalid_argument);
+}
+
+TEST(Equations, TrainingProbabilityClamps) {
+  EXPECT_DOUBLE_EQ(training_probability(250, 500.0), 0.5);
+  EXPECT_DOUBLE_EQ(training_probability(500, 500.0), 1.0);
+  EXPECT_DOUBLE_EQ(training_probability(750, 500.0), 1.0);  // min(·, 1)
+  EXPECT_DOUBLE_EQ(training_probability(0, 500.0), 0.0);
+  EXPECT_DOUBLE_EQ(training_probability(10, 0.0), 1.0);  // degenerate
+}
+
+class CountRoundsParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CountRoundsParam, CountMatchesScheduleUnroll) {
+  const auto [gt, gs] = GetParam();
+  const SkipTrainScheduler scheduler(gt, gs);
+  for (const std::size_t total : {1u, 7u, 100u, 999u, 1000u}) {
+    std::size_t unrolled = 0;
+    for (std::size_t t = 1; t <= total; ++t) {
+      if (scheduler.round_kind(t) == RoundKind::kTraining) ++unrolled;
+    }
+    EXPECT_EQ(count_training_rounds(gt, gs, total), unrolled)
+        << "Γt=" << gt << " Γs=" << gs << " T=" << total;
+    // Eq. 4 and the exact count agree to within one cycle.
+    EXPECT_NEAR(static_cast<double>(unrolled),
+                expected_training_rounds(gt, gs, total),
+                static_cast<double>(gt + gs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GammaGrid, CountRoundsParam,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                                            ::testing::Values(1u, 2u, 3u,
+                                                              4u)));
+
+TEST(Dpsgd, AlwaysTrains) {
+  const DpsgdScheduler scheduler;
+  for (std::size_t t = 1; t <= 20; ++t) {
+    EXPECT_EQ(scheduler.round_kind(t), RoundKind::kTraining);
+    EXPECT_TRUE(scheduler.should_train(t, 0, 0));  // ignores budget
+  }
+  EXPECT_FALSE(scheduler.is_budget_aware());
+  EXPECT_DOUBLE_EQ(training_round_fraction(scheduler, 50), 1.0);
+}
+
+TEST(SkipTrain, PatternMatchesAlgorithm2Formula) {
+  // Γt=2, Γs=3, cycle 5: trains iff t mod 5 in {0, 1}.
+  const SkipTrainScheduler scheduler(2, 3);
+  for (std::size_t t = 1; t <= 30; ++t) {
+    const bool expected_train = (t % 5) < 2;
+    EXPECT_EQ(scheduler.round_kind(t) == RoundKind::kTraining, expected_train)
+        << "t=" << t;
+    EXPECT_EQ(scheduler.should_train(t, 3, 100), expected_train);
+  }
+}
+
+TEST(SkipTrain, LongRunFractionApproachesEq4) {
+  const SkipTrainScheduler scheduler(3, 2);
+  const double fraction = training_round_fraction(scheduler, 10000);
+  EXPECT_NEAR(fraction, 3.0 / 5.0, 0.001);
+}
+
+TEST(SkipTrain, RejectsDegenerateGammas) {
+  EXPECT_THROW(SkipTrainScheduler(0, 4), std::invalid_argument);
+  EXPECT_THROW(SkipTrainScheduler(4, 0), std::invalid_argument);
+}
+
+TEST(SkipTrain, NameMentionsGammas) {
+  const SkipTrainScheduler scheduler(4, 2);
+  EXPECT_NE(scheduler.name().find("4"), std::string::npos);
+  EXPECT_NE(scheduler.name().find("2"), std::string::npos);
+}
+
+TEST(Constrained, NeverTrainsOnSyncRounds) {
+  const SkipTrainConstrainedScheduler scheduler(
+      2, 2, 100, std::vector<std::size_t>{1000, 1000}, 42);
+  for (std::size_t t = 1; t <= 40; ++t) {
+    if (scheduler.round_kind(t) == RoundKind::kSynchronization) {
+      EXPECT_FALSE(scheduler.should_train(t, 0, 1000));
+      EXPECT_FALSE(scheduler.should_train(t, 1, 1000));
+    }
+  }
+}
+
+TEST(Constrained, ZeroRemainingBudgetBlocksTraining) {
+  const SkipTrainConstrainedScheduler scheduler(
+      2, 2, 100, std::vector<std::size_t>{1000}, 42);
+  for (std::size_t t = 1; t <= 40; ++t) {
+    EXPECT_FALSE(scheduler.should_train(t, 0, 0));
+  }
+}
+
+TEST(Constrained, FullBudgetBehavesLikeSkipTrain) {
+  // τ >= T_train ⇒ p = 1 ⇒ trains in every coordinated training round.
+  const std::size_t total = 200;
+  const SkipTrainConstrainedScheduler constrained(
+      4, 4, total, std::vector<std::size_t>{total}, 7);
+  const SkipTrainScheduler plain(4, 4);
+  EXPECT_DOUBLE_EQ(constrained.probability(0), 1.0);
+  for (std::size_t t = 1; t <= total; ++t) {
+    EXPECT_EQ(constrained.should_train(t, 0, 1000),
+              plain.should_train(t, 0, 1000));
+  }
+}
+
+TEST(Constrained, ProbabilityMatchesEq5) {
+  const SkipTrainConstrainedScheduler scheduler(
+      4, 4, 1000, std::vector<std::size_t>{250, 500, 900}, 7);
+  // T_train = 500.
+  EXPECT_DOUBLE_EQ(scheduler.probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(scheduler.probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(scheduler.probability(2), 1.0);
+}
+
+TEST(Constrained, DecisionsAreDeterministic) {
+  const SkipTrainConstrainedScheduler a(
+      2, 2, 1000, std::vector<std::size_t>{100, 200}, 99);
+  const SkipTrainConstrainedScheduler b(
+      2, 2, 1000, std::vector<std::size_t>{100, 200}, 99);
+  for (std::size_t t = 1; t <= 200; ++t) {
+    for (std::size_t node = 0; node < 2; ++node) {
+      EXPECT_EQ(a.should_train(t, node, 50), b.should_train(t, node, 50));
+      // Repeated queries agree (pure function).
+      EXPECT_EQ(a.should_train(t, node, 50), a.should_train(t, node, 50));
+    }
+  }
+}
+
+TEST(Constrained, DifferentSeedsDifferentDecisions) {
+  const SkipTrainConstrainedScheduler a(
+      1, 1, 10000, std::vector<std::size_t>{2500}, 1);
+  const SkipTrainConstrainedScheduler b(
+      1, 1, 10000, std::vector<std::size_t>{2500}, 2);
+  std::size_t differing = 0;
+  for (std::size_t t = 1; t <= 1000; ++t) {
+    if (a.should_train(t, 0, 99999) != b.should_train(t, 0, 99999)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 100u);
+}
+
+TEST(Constrained, RealizedRateMatchesProbability) {
+  // τ = T_train/2 ⇒ p = 0.5 ⇒ about half of the training rounds fire.
+  const std::size_t total = 10000;
+  const SkipTrainConstrainedScheduler scheduler(
+      1, 1, total, std::vector<std::size_t>{total / 4}, 5);
+  std::size_t trained = 0, training_rounds = 0;
+  for (std::size_t t = 1; t <= total; ++t) {
+    if (scheduler.round_kind(t) != RoundKind::kTraining) continue;
+    ++training_rounds;
+    if (scheduler.should_train(t, 0, /*remaining=*/total)) ++trained;
+  }
+  const double rate =
+      static_cast<double>(trained) / static_cast<double>(training_rounds);
+  EXPECT_NEAR(rate, 0.5, 0.03);
+}
+
+TEST(Greedy, TrainsExactlyWhileBudgetRemains) {
+  const GreedyScheduler scheduler;
+  EXPECT_TRUE(scheduler.is_budget_aware());
+  EXPECT_TRUE(scheduler.should_train(1, 0, 5));
+  EXPECT_TRUE(scheduler.should_train(100, 3, 1));
+  EXPECT_FALSE(scheduler.should_train(2, 0, 0));
+  for (std::size_t t = 1; t <= 10; ++t) {
+    EXPECT_EQ(scheduler.round_kind(t), RoundKind::kTraining);
+  }
+}
+
+TEST(Fractions, SkipTrainHalvesTrainingRounds) {
+  // The headline energy claim: Γt = Γs halves the training rounds, hence
+  // halves training energy vs D-PSGD at equal T.
+  const SkipTrainScheduler scheduler(4, 4);
+  EXPECT_NEAR(training_round_fraction(scheduler, 1000), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace skiptrain::core

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace skiptrain::util {
+namespace {
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat stat;
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double v : values) stat.add(v);
+  EXPECT_EQ(stat.count(), values.size());
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 4.0, 1e-12);  // classic example, σ = 2
+  EXPECT_NEAR(stat.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat stat;
+  stat.add(3.5);
+  EXPECT_EQ(stat.mean(), 3.5);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, SampleVarianceUsesNMinusOne) {
+  RunningStat stat;
+  stat.add(1.0);
+  stat.add(3.0);
+  EXPECT_NEAR(stat.variance(), 1.0, 1e-12);         // population
+  EXPECT_NEAR(stat.sample_variance(), 2.0, 1e-12);  // Bessel-corrected
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat combined, part_a, part_b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i * 0.7) * 10.0 + i * 0.01;
+    combined.add(v);
+    (i < 40 ? part_a : part_b).add(v);
+  }
+  part_a.merge(part_b);
+  EXPECT_EQ(part_a.count(), combined.count());
+  EXPECT_NEAR(part_a.mean(), combined.mean(), 1e-10);
+  EXPECT_NEAR(part_a.variance(), combined.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(part_a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(part_a.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat stat, empty;
+  stat.add(1.0);
+  stat.add(2.0);
+  stat.merge(empty);
+  EXPECT_EQ(stat.count(), 2u);
+  RunningStat other;
+  other.merge(stat);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+}
+
+TEST(RunningStat, NumericalStabilityLargeOffset) {
+  RunningStat stat;
+  // Naive sum-of-squares would lose precision at this offset.
+  for (int i = 0; i < 1000; ++i) stat.add(1.0e9 + (i % 2));
+  EXPECT_NEAR(stat.variance(), 0.25, 1e-6);
+}
+
+TEST(Summarize, MatchesDirectComputation) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(values);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summarize, FloatOverload) {
+  const std::vector<float> values{2.0f, 6.0f};
+  const Summary s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> values{4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.5);
+  EXPECT_NEAR(quantile(values, 0.25), 1.75, 1e-12);
+}
+
+TEST(Quantile, ClampsAndHandlesEmpty) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_EQ(quantile(one, -1.0), 7.0);
+  EXPECT_EQ(quantile(one, 2.0), 7.0);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  const std::vector<double> values{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean_of(values), 3.0);
+}
+
+}  // namespace
+}  // namespace skiptrain::util

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace skiptrain::tensor {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(2), 4u);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, EmptyTensor) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, TwoDimensionalAccess) {
+  Tensor t({2, 3});
+  t.at(0, 0) = 1.0f;
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_EQ(t.at(5), 5.0f);
+}
+
+TEST(Tensor, RowView) {
+  Tensor t({3, 4});
+  for (std::size_t i = 0; i < 12; ++i) t.at(i) = static_cast<float>(i);
+  const auto row1 = t.row(1);
+  EXPECT_EQ(row1.size(), 4u);
+  EXPECT_EQ(row1[0], 4.0f);
+  EXPECT_EQ(row1[3], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t.at(7) = 3.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.at(7), 3.0f);
+}
+
+TEST(Tensor, ReshapeMismatchThrows) {
+  Tensor t({2, 6});
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, FillSetsEveryElement) {
+  Tensor t({4, 4});
+  t.fill(2.5f);
+  for (const float v : t.data()) EXPECT_EQ(v, 2.5f);
+  t.zero();
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ShapeUtils, NumelAndToString) {
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_numel({5}), 5u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(Ops, Axpy) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f};
+  std::vector<float> y{10.0f, 20.0f, 30.0f};
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y[0], 12.0f);
+  EXPECT_EQ(y[1], 24.0f);
+  EXPECT_EQ(y[2], 36.0f);
+}
+
+TEST(Ops, ScaleCopySubtract) {
+  std::vector<float> x{2.0f, 4.0f};
+  scale(x, 0.5f);
+  EXPECT_EQ(x[0], 1.0f);
+  EXPECT_EQ(x[1], 2.0f);
+
+  std::vector<float> dst(2);
+  copy(x, dst);
+  EXPECT_EQ(dst[1], 2.0f);
+
+  std::vector<float> a{5.0f, 7.0f}, b{1.0f, 2.0f}, out(2);
+  subtract(a, b, out);
+  EXPECT_EQ(out[0], 4.0f);
+  EXPECT_EQ(out[1], 5.0f);
+}
+
+TEST(Ops, DotAndNorms) {
+  std::vector<float> a{1.0f, 2.0f, 2.0f};
+  std::vector<float> b{3.0f, 0.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(squared_norm(a), 9.0);
+  EXPECT_DOUBLE_EQ(l2_distance(a, a), 0.0);
+  const std::vector<float> zero{0.0f, 0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(l2_distance(a, zero), 3.0);
+}
+
+// --- GEMM correctness against a reference implementation -------------------
+
+void reference_gemm(std::size_t m, std::size_t k, std::size_t n,
+                    const std::vector<float>& a, const std::vector<float>& b,
+                    std::vector<float>& c, bool trans_a, bool trans_b,
+                    float beta) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[i * n + j] = beta * c[i * n + j] + static_cast<float>(acc);
+    }
+  }
+}
+
+class GemmSizes : public ::testing::TestWithParam<
+                      std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(GemmSizes, AllVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 1000 + k * 100 + n);
+  std::vector<float> a(std::max(m * k, k * m)), b(std::max(k * n, n * k));
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+
+  // gemm_nn
+  std::vector<float> c(m * n), ref(m * n);
+  gemm_nn(m, k, n, a, b, c);
+  reference_gemm(m, k, n, a, b, ref, false, false, 0.0f);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+
+  // gemm_nt (b as [n, k])
+  std::fill(c.begin(), c.end(), 0.0f);
+  std::fill(ref.begin(), ref.end(), 0.0f);
+  gemm_nt(m, k, n, a, b, c);
+  reference_gemm(m, k, n, a, b, ref, false, true, 0.0f);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+
+  // gemm_tn (a as [k, m])
+  std::fill(c.begin(), c.end(), 0.0f);
+  std::fill(ref.begin(), ref.end(), 0.0f);
+  gemm_tn(m, k, n, a, b, c);
+  reference_gemm(m, k, n, a, b, ref, true, false, 0.0f);
+  for (std::size_t i = 0; i < m * n; ++i) EXPECT_NEAR(c[i], ref[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9)));
+
+TEST(Gemm, BetaAccumulates) {
+  const std::size_t m = 2, k = 2, n = 2;
+  std::vector<float> a{1.0f, 0.0f, 0.0f, 1.0f};  // identity
+  std::vector<float> b{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> c{10.0f, 10.0f, 10.0f, 10.0f};
+  gemm_nn(m, k, n, a, b, c, /*beta=*/1.0f);
+  EXPECT_EQ(c[0], 11.0f);
+  EXPECT_EQ(c[3], 14.0f);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f, -1.0f, 0.0f, 1.0f};
+  softmax_rows(2, 3, x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const float v = x[r * 3 + c];
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+  // Larger logits get larger probabilities.
+  EXPECT_GT(x[2], x[1]);
+  EXPECT_GT(x[1], x[0]);
+}
+
+TEST(Softmax, NumericallyStableWithHugeLogits) {
+  std::vector<float> x{1000.0f, 1001.0f, 999.0f};
+  softmax_rows(1, 3, x);
+  float sum = 0.0f;
+  for (const float v : x) {
+    EXPECT_FALSE(std::isnan(v));
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(Argmax, FindsFirstMaximum) {
+  const std::vector<float> x{1.0f, 5.0f, 3.0f, 5.0f};
+  EXPECT_EQ(argmax(x), 1u);
+  const std::vector<float> single{2.0f};
+  EXPECT_EQ(argmax(single), 0u);
+}
+
+}  // namespace
+}  // namespace skiptrain::tensor

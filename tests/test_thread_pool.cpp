@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace skiptrain::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(0, touched.size(),
+                    [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPartialRange) {
+  ThreadPool pool(2);
+  std::vector<int> touched(100, 0);
+  pool.parallel_for(10, 20, [&](std::size_t i) { touched[i] = 1; });
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i], (i >= 10 && i < 20) ? 1 : 0);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(3, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 3u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ChunksPartitionRange) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(0, 100, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(mutex);
+    chunks.emplace_back(lo, hi);
+  });
+  std::size_t covered = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_LT(lo, hi);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 100u);
+  EXPECT_LE(chunks.size(), 3u);
+}
+
+TEST(ThreadPool, NestedParallelForFallsBackToSerial) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    // Re-entrant call from a worker must not deadlock.
+    pool.parallel_for(0, 10, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long> values(10000);
+  std::iota(values.begin(), values.end(), 0L);
+  std::atomic<long> parallel_sum{0};
+  pool.parallel_for(0, values.size(), [&](std::size_t i) {
+    parallel_sum.fetch_add(values[i]);
+  });
+  const long serial_sum = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(parallel_sum.load(), serial_sum);
+}
+
+TEST(ThreadPool, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<bool> detected{false};
+  pool.submit([&] { detected = pool.on_worker_thread(); });
+  pool.wait_idle();
+  EXPECT_TRUE(detected.load());
+}
+
+TEST(ThreadPool, SizeMatchesConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 50, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace skiptrain::util
