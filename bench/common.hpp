@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/skiptrain.hpp"
@@ -35,10 +36,94 @@ inline void add_common_flags(util::ArgParser& args,
   args.add_int("local-steps", 10, "local SGD steps E per training round");
   args.add_int("batch", 16, "mini-batch size");
   args.add_double("lr", 0.1, "SGD learning rate");
-  args.add_int("eval-every", 0, "evaluation cadence (0 = Γt+Γs)");
+  args.add_int("eval-every", 0,
+               "evaluation cadence in rounds (0 = harness default)");
   args.add_int("eval-samples", 600, "samples used per evaluation (0 = all)");
   args.add_int("seed", 42, "master seed");
   args.add_flag("full", "paper-scale run: 256 nodes, paper round counts");
+}
+
+/// Flag for harnesses that execute their grid on the sweep runner. Only
+/// those harnesses register it — on a serial bench it would be a no-op.
+inline void add_sweep_flags(util::ArgParser& args) {
+  args.add_int("threads", 0,
+               "concurrent sweep trials (0 = hardware threads, 1 = serial)");
+}
+
+/// Reads a count-valued flag, rejecting negatives with a clean exit —
+/// an unchecked cast would wrap them to astronomically large unsigneds.
+inline std::size_t flag_size(const util::ArgParser& args,
+                             const std::string& name) {
+  const std::int64_t value = args.get_int(name);
+  if (value < 0) {
+    std::fprintf(stderr, "--%s must be >= 0\n", name.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Fills the sweep-preset knobs from the common flags. The flag defaults
+/// match the preset defaults, so an untouched flag defers to the preset.
+/// Callers with a --dataset flag set params.dataset themselves.
+inline sweep::PresetParams preset_params_from_flags(
+    const util::ArgParser& args) {
+  sweep::PresetParams params;
+  params.nodes = flag_size(args, "nodes");
+  params.rounds = flag_size(args, "rounds");
+  params.local_steps = flag_size(args, "local-steps");
+  params.batch = flag_size(args, "batch");
+  params.learning_rate = args.get_double("lr");
+  params.eval_every = flag_size(args, "eval-every");
+  params.eval_samples = flag_size(args, "eval-samples");
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  params.full = args.get_flag("full");
+  return params;
+}
+
+/// Report-cell lookup with uniform failure reporting: returns the ok
+/// trial for (dataset, degree, algorithm), or prints why it is unusable
+/// to stderr and returns nullptr.
+inline const sweep::TrialResult* require_cell(const sweep::SweepReport& report,
+                                              const std::string& dataset,
+                                              std::size_t degree,
+                                              sim::Algorithm algorithm) {
+  const sweep::TrialResult* trial =
+      report.find_trial(dataset, degree, algorithm);
+  if (trial == nullptr || !trial->ok()) {
+    std::fprintf(stderr, "%s %zu-regular %s: %s\n", dataset.c_str(), degree,
+                 sim::algorithm_name(algorithm),
+                 trial != nullptr ? trial->error.c_str() : "trial missing");
+    return nullptr;
+  }
+  return trial;
+}
+
+/// make_preset with CLI-grade error handling: a bad --dataset (or other
+/// invalid preset knob) prints the message and exits 2 instead of
+/// escaping main() as an uncaught exception.
+inline sweep::SweepGrid make_preset_checked(
+    const std::string& name, const sweep::PresetParams& params) {
+  try {
+    return sweep::make_preset(name, params);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+/// Runs `grid` on the sweep runner with the --threads flag's concurrency.
+inline sweep::SweepReport run_sweep(const sweep::SweepGrid& grid,
+                                    const util::ArgParser& args,
+                                    bool verbose = false) {
+  const std::int64_t threads = args.get_int("threads");
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    std::exit(2);
+  }
+  sweep::SweepOptions options;
+  options.threads = static_cast<std::size_t>(threads);
+  options.verbose = verbose;
+  return sweep::SweepRunner(options).run(grid);
 }
 
 inline std::size_t flag_nodes(const util::ArgParser& args) {
@@ -107,11 +192,9 @@ inline sim::RunOptions options_from_flags(const util::ArgParser& args,
 }
 
 /// Tuned (Γtrain, Γsync) per topology degree from the paper's §4.3 grid
-/// search: 6-regular -> (4,4); 8-regular -> (3,3); 10-regular -> (4,2).
+/// search; canonical definition lives with the sweep presets.
 inline std::pair<std::size_t, std::size_t> tuned_gammas(std::size_t degree) {
-  if (degree <= 6) return {4, 4};
-  if (degree <= 8) return {3, 3};
-  return {4, 2};
+  return sweep::tuned_gammas(degree);
 }
 
 /// Closed-form 256-node training energy of the paper's configuration (Wh):

@@ -3,6 +3,10 @@
 // SkipTrain over Γtrain, Γsync in {1..4}, plus the energy heatmap (which is
 // closed-form at paper scale: T_train x 256 x mean trace energy).
 //
+// The 48-run grid is declared once (sweep preset "fig3") and executed by
+// the trial-parallel sweep runner; rows come back in grid order, so the
+// CSV is identical at any --threads value.
+//
 // Expected shape (paper §4.3): accuracy improves with balanced Γ; the
 // optimal Γsync decreases as the degree (mixing speed) grows; energy
 // depends only on Γtrain/(Γtrain+Γsync).
@@ -16,6 +20,7 @@ int main(int argc, char** argv) {
   // the accuracy plateau — the paper's grid shape (sync rounds beating
   // extra training rounds) only exists at the plateau.
   bench::add_common_flags(args, /*default_nodes=*/32, /*default_rounds=*/280);
+  bench::add_sweep_flags(args);
   args.add_int("gamma-max", 4, "sweep Γ in 1..gamma-max");
   args.parse(argc, argv);
 
@@ -23,11 +28,15 @@ int main(int argc, char** argv) {
       "Figure 3: validation accuracy + energy over (Γtrain, Γsync)",
       "grids for 6/8/10-regular; energy at 256-node paper scale");
 
-  const bench::Workbench bench_data = bench::make_cifar_bench(args);
-  sim::RunOptions base = bench::options_from_flags(args, bench_data);
-  base.algorithm = sim::Algorithm::kSkipTrain;
-  base.eval_on_validation = true;  // the paper tunes on the validation split
-  const auto gamma_max = static_cast<std::size_t>(args.get_int("gamma-max"));
+  if (args.get_int("gamma-max") < 1) {
+    std::fprintf(stderr, "--gamma-max must be >= 1\n");
+    return 2;
+  }
+  sweep::PresetParams params = bench::preset_params_from_flags(args);
+  params.gamma_max = static_cast<std::size_t>(args.get_int("gamma-max"));
+  const sweep::SweepGrid grid = bench::make_preset_checked("fig3", params);
+  const sweep::SweepReport report = bench::run_sweep(grid, args);
+  const std::size_t gamma_max = params.gamma_max;
 
   std::vector<std::string> labels;
   for (std::size_t g = 1; g <= gamma_max; ++g) {
@@ -46,14 +55,20 @@ int main(int argc, char** argv) {
 
     for (std::size_t gs = 1; gs <= gamma_max; ++gs) {
       for (std::size_t gt = 1; gt <= gamma_max; ++gt) {
-        sim::RunOptions options = base;
-        options.degree = degree;
-        options.gamma_train = gt;
-        options.gamma_sync = gs;
-        options.eval_every = options.total_rounds;  // endpoint only
-        const auto result = sim::run_experiment(bench_data.data,
-                                                bench_data.model, options);
-        const double acc = 100.0 * result.final_mean_accuracy;
+        // Look the cell up by spec, not position, so a preset/nesting
+        // change can never silently misattribute cells.
+        const sweep::TrialResult* row =
+            report.find([&](const sweep::TrialResult& t) {
+              return t.spec.options.degree == degree &&
+                     t.spec.options.gamma_sync == gs &&
+                     t.spec.options.gamma_train == gt;
+            });
+        if (row == nullptr || !row->ok()) {
+          std::fprintf(stderr, "(%zu, Γt=%zu, Γs=%zu) failed: %s\n", degree,
+                       gt, gs, row != nullptr ? row->error.c_str() : "missing");
+          continue;
+        }
+        const double acc = 100.0 * row->result.final_mean_accuracy;
         accuracy[gs - 1][gt - 1] = acc;
 
         const std::size_t paper_train_rounds =
@@ -102,5 +117,5 @@ int main(int argc, char** argv) {
   std::printf("\ngrid written to fig3_grid.csv\n");
   std::printf("paper best picks: 6-reg (4,4)=66.1%%, 8-reg (3,3)=66.3%%, "
               "10-reg (4,2)=66.8%%\n");
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }

@@ -4,6 +4,9 @@
 // τ_i from the smartphone traces (scaled to the bench horizon so budgets
 // bind at the same proportion of the run as in the paper).
 //
+// The 3-algorithm x 3-topology grid is declared once (sweep preset
+// "fig6") and executed by the trial-parallel sweep runner.
+//
 // Expected shape: SkipTrain-constrained > Greedy > D-PSGD at equal energy.
 #include "common.hpp"
 
@@ -12,6 +15,7 @@ int main(int argc, char** argv) {
   util::ArgParser args("fig6_constrained",
                        "Figure 6: energy-constrained comparison");
   bench::add_common_flags(args);
+  bench::add_sweep_flags(args);
   args.add_string("dataset", "cifar", "cifar | femnist | both");
   args.parse(argc, argv);
 
@@ -19,47 +23,53 @@ int main(int argc, char** argv) {
       "Figure 6: SkipTrain-constrained vs Greedy vs D-PSGD",
       "test accuracy vs training energy under per-device budgets");
 
-  std::vector<energy::Workload> workloads;
-  const std::string& dataset = args.get_string("dataset");
-  if (dataset == "cifar" || dataset == "both") {
-    workloads.push_back(energy::Workload::kCifar10);
-  }
-  if (dataset == "femnist" || dataset == "both") {
-    workloads.push_back(energy::Workload::kFemnist);
-  }
+  sweep::PresetParams params = bench::preset_params_from_flags(args);
+  params.dataset = args.get_string("dataset");
+  const sweep::SweepGrid grid = bench::make_preset_checked("fig6", params);
+  const sweep::SweepReport report = bench::run_sweep(grid, args);
 
   util::CsvWriter csv("fig6_series.csv",
                       {"dataset", "degree", "algorithm", "round",
                        "mean_accuracy", "train_energy_wh"});
 
-  for (const auto workload : workloads) {
-    const bench::Workbench wb = bench::make_bench(args, workload);
-    sim::RunOptions base = bench::options_from_flags(args, wb);
-    base.eval_every = std::max<std::size_t>(base.total_rounds / 12, 1);
+  for (const std::string& dataset : grid.datasets) {
+    for (const std::size_t degree : grid.degrees) {
+      const sweep::TrialResult* trials[3] = {
+          bench::require_cell(report, dataset, degree,
+                              sim::Algorithm::kSkipTrainConstrained),
+          bench::require_cell(report, dataset, degree,
+                              sim::Algorithm::kGreedy),
+          bench::require_cell(report, dataset, degree,
+                              sim::Algorithm::kDpsgd)};
 
-    for (const std::size_t degree : {6u, 8u, 10u}) {
-      const auto [gamma_train, gamma_sync] = bench::tuned_gammas(degree);
-      sim::RunOptions options = base;
-      options.degree = degree;
-
-      options.algorithm = sim::Algorithm::kSkipTrainConstrained;
-      options.gamma_train = gamma_train;
-      options.gamma_sync = gamma_sync;
-      const auto constrained = sim::run_experiment(wb.data, wb.model, options);
-
-      options.algorithm = sim::Algorithm::kGreedy;
-      const auto greedy = sim::run_experiment(wb.data, wb.model, options);
-
-      options.algorithm = sim::Algorithm::kDpsgd;
-      const auto dpsgd = sim::run_experiment(wb.data, wb.model, options);
+      // A surviving trial's series is always written, even when another
+      // algorithm's trial in this cell failed.
+      const sweep::TrialResult* first_ok = nullptr;
+      for (const sweep::TrialResult* trial : trials) {
+        if (trial == nullptr) continue;
+        if (first_ok == nullptr) first_ok = trial;
+        for (const auto& record : trial->result.recorder.records()) {
+          csv.write_row(std::vector<std::string>{
+              trial->result.dataset, std::to_string(degree),
+              trial->result.algorithm, std::to_string(record.round),
+              util::fixed(100.0 * record.mean_accuracy, 4),
+              util::fixed(record.train_energy_wh, 4)});
+        }
+      }
+      if (first_ok == nullptr) continue;
+      // Every trial in a cell shares the fleet, so any ok trial supplies
+      // the budget the equal-energy column compares at.
+      const double fleet_budget_wh = first_ok->result.fleet_budget_wh;
 
       std::printf("\n--- %s, %zu-regular | fleet budget %.2f Wh ---\n",
-                  wb.data.name.c_str(), degree, constrained.fleet_budget_wh);
+                  first_ok->result.dataset.c_str(), degree, fleet_budget_wh);
       util::TablePrinter table({"algorithm", "final acc%", "spent Wh",
                                 "acc% @ equal energy"});
-      const auto row = [&](const sim::ExperimentResult& result) {
+      for (const sweep::TrialResult* trial : trials) {
+        if (trial == nullptr) continue;
+        const sim::ExperimentResult& result = trial->result;
         const auto at_budget =
-            result.recorder.record_at_energy(constrained.fleet_budget_wh);
+            result.recorder.record_at_energy(fleet_budget_wh);
         const double equal_energy_acc =
             at_budget ? at_budget->mean_accuracy
                       : result.recorder.last().mean_accuracy;
@@ -67,17 +77,7 @@ int main(int argc, char** argv) {
                        util::fixed(100.0 * result.final_mean_accuracy, 2),
                        util::fixed(result.total_training_wh, 2),
                        util::fixed(100.0 * equal_energy_acc, 2)});
-        for (const auto& record : result.recorder.records()) {
-          csv.write_row(std::vector<std::string>{
-              wb.data.name, std::to_string(degree), result.algorithm,
-              std::to_string(record.round),
-              util::fixed(100.0 * record.mean_accuracy, 4),
-              util::fixed(record.train_energy_wh, 4)});
-        }
-      };
-      row(constrained);
-      row(greedy);
-      row(dpsgd);
+      }
       table.print();
     }
   }
@@ -85,5 +85,5 @@ int main(int argc, char** argv) {
   std::printf("\nseries written to fig6_series.csv\n");
   std::printf("paper shape: at equal energy, SkipTrain-constrained > Greedy "
               "> D-PSGD (up to +12%% / +9%% on CIFAR-10).\n");
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }

@@ -1,6 +1,9 @@
 // Regenerates Table 3: training energy and average test accuracy of
 // SkipTrain vs D-PSGD on both datasets across 6/8/10-regular topologies.
 //
+// The 2x3x2 grid is declared once (sweep preset "table3") and executed by
+// the trial-parallel sweep runner.
+//
 // Energy columns are reported at PAPER scale (256 nodes, T=1000/3000) —
 // they are closed-form under the trace model and must match the paper to
 // <0.1%. Accuracy columns come from the scaled simulation; the shape to
@@ -12,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace skiptrain;
   util::ArgParser args("table3_summary", "Table 3: energy + accuracy summary");
   bench::add_common_flags(args);
+  bench::add_sweep_flags(args);
   args.add_string("dataset", "both", "cifar | femnist | both");
   args.parse(argc, argv);
 
@@ -34,59 +38,51 @@ int main(int argc, char** argv) {
                                {79.26, 79.32, 79.24},
                                {78.6, 78.69, 78.73}};
 
-  std::vector<energy::Workload> workloads;
-  const std::string& dataset = args.get_string("dataset");
-  if (dataset == "cifar" || dataset == "both") {
-    workloads.push_back(energy::Workload::kCifar10);
-  }
-  if (dataset == "femnist" || dataset == "both") {
-    workloads.push_back(energy::Workload::kFemnist);
-  }
+  sweep::PresetParams params = bench::preset_params_from_flags(args);
+  params.dataset = args.get_string("dataset");
+  const sweep::SweepGrid grid = bench::make_preset_checked("table3", params);
+  const sweep::SweepReport report = bench::run_sweep(grid, args);
 
   util::TablePrinter table({"Algorithm", "Dataset", "Degree",
                             "Energy Wh (ours)", "Energy Wh (paper)",
                             "Acc% (ours)", "Acc% (paper)"});
 
-  for (const auto workload : workloads) {
-    const bench::Workbench wb = bench::make_bench(args, workload);
-    sim::RunOptions base = bench::options_from_flags(args, wb);
-    base.eval_every = base.total_rounds;
+  for (const std::string& dataset : grid.datasets) {
+    const energy::Workload workload = sweep::workload_for(dataset);
     const PaperRow& paper =
         workload == energy::Workload::kCifar10 ? paper_cifar : paper_femnist;
     const std::size_t paper_total =
         energy::workload_spec(workload).total_rounds;
 
-    const std::size_t degrees[3] = {6, 8, 10};
-    for (int i = 0; i < 3; ++i) {
-      const std::size_t degree = degrees[i];
+    // Paper reference columns exist for the published degrees only.
+    const auto paper_index = [](std::size_t degree) {
+      return degree == 6 ? 0 : degree == 8 ? 1 : degree == 10 ? 2 : -1;
+    };
+    for (const std::size_t degree : grid.degrees) {
+      const int i = paper_index(degree);
       const auto [gamma_train, gamma_sync] = bench::tuned_gammas(degree);
-      sim::RunOptions options = base;
-      options.degree = degree;
-
-      options.algorithm = sim::Algorithm::kSkipTrain;
-      options.gamma_train = gamma_train;
-      options.gamma_sync = gamma_sync;
-      const auto skip = sim::run_experiment(wb.data, wb.model, options);
+      const sweep::TrialResult* skip = bench::require_cell(
+          report, dataset, degree, sim::Algorithm::kSkipTrain);
+      const sweep::TrialResult* dpsgd = bench::require_cell(
+          report, dataset, degree, sim::Algorithm::kDpsgd);
+      if (skip == nullptr || dpsgd == nullptr) continue;
       // Closed-form paper-scale energy for this Γ configuration.
       const double skip_energy = bench::paper_scale_energy_wh(
           workload,
           core::count_training_rounds(gamma_train, gamma_sync, paper_total));
-
-      options.algorithm = sim::Algorithm::kDpsgd;
-      const auto dpsgd = sim::run_experiment(wb.data, wb.model, options);
       const double dpsgd_energy =
           bench::paper_scale_energy_wh(workload, paper_total);
 
-      table.add_row({"SkipTrain", wb.data.name, std::to_string(degree),
-                     util::fixed(skip_energy, 2),
-                     util::fixed(paper.skip_energy[i], 2),
-                     util::fixed(100.0 * skip.final_mean_accuracy, 2),
-                     util::fixed(paper.skip_acc[i], 2)});
-      table.add_row({"D-PSGD", wb.data.name, std::to_string(degree),
+      table.add_row({"SkipTrain", skip->result.dataset,
+                     std::to_string(degree), util::fixed(skip_energy, 2),
+                     i >= 0 ? util::fixed(paper.skip_energy[i], 2) : "-",
+                     util::fixed(100.0 * skip->result.final_mean_accuracy, 2),
+                     i >= 0 ? util::fixed(paper.skip_acc[i], 2) : "-"});
+      table.add_row({"D-PSGD", dpsgd->result.dataset, std::to_string(degree),
                      util::fixed(dpsgd_energy, 2),
                      util::fixed(paper.dpsgd_energy, 2),
-                     util::fixed(100.0 * dpsgd.final_mean_accuracy, 2),
-                     util::fixed(paper.dpsgd_acc[i], 2)});
+                     util::fixed(100.0 * dpsgd->result.final_mean_accuracy, 2),
+                     i >= 0 ? util::fixed(paper.dpsgd_acc[i], 2) : "-"});
     }
   }
   table.print();
@@ -95,5 +91,5 @@ int main(int argc, char** argv) {
               "scale (exact reproduction); accuracy columns come from the "
               "scaled simulation — check ordering and ratios, not absolute "
               "points.\n");
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }

@@ -40,6 +40,7 @@
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 #include "sim/runner.hpp"
+#include "sweep/sweep.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "util/cli.hpp"

@@ -1,0 +1,81 @@
+// Grid construction without writing a binary: named paper presets and a
+// key=value config-file format, both producing SweepGrids for SweepRunner.
+//
+// Config files are line-oriented `key = value` pairs; '#' starts a
+// comment. List-valued keys take comma lists and inclusive integer ranges
+// ("degrees = 6,8,10", "gamma-train = 1..4"). Example:
+//
+//   # γ grid on the 8-regular topology, 3 replicate seeds
+//   name        = gamma8
+//   dataset     = cifar
+//   nodes       = 32
+//   rounds      = 280
+//   algorithms  = skiptrain
+//   degrees     = 8
+//   gamma-train = 1..4
+//   gamma-sync  = 1..4
+//   seeds       = 42,43,44
+//
+// The presets are the single source of truth for the grids behind the
+// paper's figure/table harnesses; the bench binaries call make_preset with
+// their flag values, and bench/sweep_main exposes the same grids by name.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/grid.hpp"
+
+namespace skiptrain::sweep {
+
+/// Tuned (Γtrain, Γsync) per topology degree from the paper's §4.3 grid
+/// search: 6-regular -> (4,4); 8-regular -> (3,3); 10-regular -> (4,2).
+[[nodiscard]] std::pair<std::size_t, std::size_t> tuned_gammas(
+    std::size_t degree);
+
+/// Parses "dpsgd" | "dpsgd-allreduce" | "skiptrain" |
+/// "skiptrain-constrained" | "greedy". Throws on anything else.
+[[nodiscard]] sim::Algorithm parse_algorithm(const std::string& name);
+
+/// Inverse of parse_algorithm (the config-file token, not the display
+/// name from sim::algorithm_name).
+[[nodiscard]] const char* algorithm_token(sim::Algorithm algorithm);
+
+/// Shared scalar knobs of the paper presets; defaults mirror the bench
+/// harnesses' common flags. 0 / empty means "use the preset's default".
+struct PresetParams {
+  std::size_t nodes = 0;
+  std::size_t rounds = 0;
+  std::size_t local_steps = 10;
+  std::size_t batch = 16;
+  double learning_rate = 0.1;
+  std::size_t eval_every = 0;  // 0 = the preset's cadence
+  std::size_t eval_samples = 600;
+  std::uint64_t seed = 42;
+  std::string dataset;        // "" = preset default; "both" allowed
+  std::size_t gamma_max = 4;  // fig3's Γ range
+  bool full = false;          // paper scale: 256 nodes, paper horizon
+};
+
+/// Builds the grid behind a paper harness: "fig3" (γ grid), "fig5"
+/// (SkipTrain vs D-PSGD trade-off), "fig6" (energy-constrained
+/// comparison), "table3" (energy + accuracy summary), or "smartphone"
+/// (the §4.6 example fleet). Throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] SweepGrid make_preset(const std::string& name,
+                                    const PresetParams& params = {});
+
+[[nodiscard]] const std::vector<std::string>& preset_names();
+
+/// Builds a grid from parsed key=value pairs. Unknown keys throw.
+[[nodiscard]] SweepGrid grid_from_kv(
+    const std::vector<std::pair<std::string, std::string>>& pairs);
+
+/// Reads a config file (format above) and builds its grid.
+[[nodiscard]] SweepGrid load_grid_file(const std::string& path);
+
+/// Splits a comma list, expanding inclusive "lo..hi" integer ranges.
+[[nodiscard]] std::vector<std::string> split_list(const std::string& text);
+
+}  // namespace skiptrain::sweep

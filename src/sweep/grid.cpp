@@ -1,0 +1,101 @@
+#include "sweep/grid.hpp"
+
+#include <stdexcept>
+
+namespace skiptrain::sweep {
+
+std::string DataConfig::key() const {
+  return dataset + "/n" + std::to_string(nodes) + "/s" +
+         std::to_string(samples_per_node) + "/t" + std::to_string(test_pool) +
+         "/seed" + std::to_string(seed);
+}
+
+energy::Workload workload_for(const std::string& dataset) {
+  if (dataset == "cifar") return energy::Workload::kCifar10;
+  if (dataset == "femnist") return energy::Workload::kFemnist;
+  throw std::invalid_argument("workload_for: unknown dataset '" + dataset +
+                              "' (expected cifar|femnist)");
+}
+
+namespace {
+
+/// An axis with no explicit values contributes its single default.
+template <typename T>
+std::vector<T> axis_or(const std::vector<T>& axis, T fallback) {
+  if (!axis.empty()) return axis;
+  return {fallback};
+}
+
+}  // namespace
+
+std::size_t SweepGrid::trial_count() const {
+  std::size_t count = 1;
+  const auto mul = [&count](std::size_t axis_size) {
+    count *= axis_size == 0 ? 1 : axis_size;
+  };
+  mul(datasets.size());
+  mul(node_counts.size());
+  mul(seeds.size());
+  mul(algorithms.size());
+  mul(degrees.size());
+  mul(gamma_syncs.size());
+  mul(gamma_trains.size());
+  mul(sparse_ks.size());
+  return count;
+}
+
+std::vector<TrialSpec> SweepGrid::expand() const {
+  const auto dataset_axis = axis_or(datasets, data.dataset);
+  const auto node_axis = axis_or(node_counts, data.nodes);
+  const auto seed_axis = axis_or(seeds, base.seed);
+  const auto algorithm_axis = axis_or(algorithms, base.algorithm);
+  const auto degree_axis = axis_or(degrees, base.degree);
+  const auto gamma_sync_axis = axis_or(gamma_syncs, base.gamma_sync);
+  const auto gamma_train_axis = axis_or(gamma_trains, base.gamma_train);
+  const auto sparse_axis = axis_or(sparse_ks, base.sparse_exchange_k);
+
+  std::vector<TrialSpec> trials;
+  trials.reserve(trial_count());
+  for (const auto& dataset : dataset_axis) {
+    const energy::Workload workload = workload_for(dataset);
+    for (const std::size_t nodes : node_axis) {
+      for (const std::uint64_t seed : seed_axis) {
+        for (const sim::Algorithm algorithm : algorithm_axis) {
+          for (const std::size_t degree : degree_axis) {
+            for (const std::size_t gamma_sync : gamma_sync_axis) {
+              for (const std::size_t gamma_train : gamma_train_axis) {
+                for (const std::size_t sparse_k : sparse_axis) {
+                  TrialSpec spec;
+                  spec.index = trials.size();
+                  spec.data = data;
+                  spec.data.dataset = dataset;
+                  spec.data.nodes = nodes;
+                  spec.data.seed = seed;
+                  spec.options = base;
+                  spec.options.workload = workload;
+                  spec.options.seed = seed;
+                  spec.options.algorithm = algorithm;
+                  spec.options.degree = degree;
+                  spec.options.gamma_sync = gamma_sync;
+                  spec.options.gamma_train = gamma_train;
+                  spec.options.sparse_exchange_k = sparse_k;
+                  if (finalize) finalize(spec);
+                  if (scale_budgets_to_paper) {
+                    spec.options.budget_scale =
+                        static_cast<double>(spec.options.total_rounds) /
+                        static_cast<double>(
+                            energy::workload_spec(workload).total_rounds);
+                  }
+                  trials.push_back(std::move(spec));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return trials;
+}
+
+}  // namespace skiptrain::sweep

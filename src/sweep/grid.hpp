@@ -1,0 +1,94 @@
+// Declarative parameter grids for the sweep subsystem.
+//
+// A SweepGrid names the axes an experiment varies (algorithm, Γ schedule,
+// topology degree, node count, dataset, compression k, replicate seeds) and
+// expands their cross product into a deterministic, index-ordered list of
+// TrialSpecs. Empty axes inherit the single value from `base`/`data`, so a
+// grid only spells out what it actually sweeps:
+//
+//   sweep::SweepGrid grid;
+//   grid.base.total_rounds = 280;
+//   grid.degrees = {6, 8, 10};
+//   grid.gamma_syncs = {1, 2, 3, 4};
+//   grid.gamma_trains = {1, 2, 3, 4};
+//   auto report = sweep::SweepRunner().run(grid);   // 48 trials
+//
+// Expansion nests, outer to inner: datasets, node_counts, seeds,
+// algorithms, degrees, gamma_syncs, gamma_trains, sparse_ks. The trial
+// index is the row order of every downstream CSV, independent of which
+// worker finishes first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "energy/device.hpp"
+#include "sim/runner.hpp"
+
+namespace skiptrain::sweep {
+
+/// Everything that identifies a dataset build (and therefore a cache
+/// entry): workload family, partition size, and the generator seed, which
+/// also seeds the shared model initialisation.
+struct DataConfig {
+  std::string dataset = "cifar";      // "cifar" | "femnist"
+  std::size_t nodes = 64;
+  std::size_t samples_per_node = 60;  // mean per node for femnist
+  std::size_t test_pool = 1200;       // split 50/50 into validation/test
+  std::uint64_t seed = 42;
+
+  bool operator==(const DataConfig&) const = default;
+
+  /// Stable string form; doubles as the dataset-cache key.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Maps "cifar"/"femnist" to the energy workload. Throws on other names.
+[[nodiscard]] energy::Workload workload_for(const std::string& dataset);
+
+/// One fully-resolved trial: a dataset build plus the run options.
+struct TrialSpec {
+  std::size_t index = 0;
+  DataConfig data;
+  sim::RunOptions options;
+};
+
+struct SweepGrid {
+  std::string name = "sweep";
+
+  /// Defaults for every knob a trial does not sweep.
+  sim::RunOptions base;
+  DataConfig data;
+
+  // Axes. An empty axis contributes the single value from base/data.
+  std::vector<std::string> datasets;
+  std::vector<std::size_t> node_counts;
+  std::vector<std::uint64_t> seeds;  // replicate seeds (run + data)
+  std::vector<sim::Algorithm> algorithms;
+  std::vector<std::size_t> degrees;
+  std::vector<std::size_t> gamma_syncs;
+  std::vector<std::size_t> gamma_trains;
+  std::vector<std::size_t> sparse_ks;
+
+  /// When set, each trial's budget_scale becomes total_rounds divided by
+  /// the workload's paper horizon, so per-device budgets bind at the same
+  /// proportion of a scaled run as in the paper (what every bench harness
+  /// did by hand via options_from_flags).
+  bool scale_budgets_to_paper = false;
+
+  /// Applied to each expanded trial (before budget scaling, so it may
+  /// adjust total_rounds); lets callers couple axes that a cross product
+  /// cannot express (e.g. the tuned (Γtrain, Γsync) pair per topology
+  /// degree). Must be a pure function of the spec for the sweep to stay
+  /// deterministic.
+  std::function<void(TrialSpec&)> finalize;
+
+  [[nodiscard]] std::size_t trial_count() const;
+
+  /// Expands the cross product in deterministic nesting order.
+  [[nodiscard]] std::vector<TrialSpec> expand() const;
+};
+
+}  // namespace skiptrain::sweep

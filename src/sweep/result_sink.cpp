@@ -1,0 +1,132 @@
+#include "sweep/result_sink.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace skiptrain::sweep {
+
+ResultSink::ResultSink(std::size_t expected_trials)
+    : rows_(expected_trials), present_(expected_trials, 0) {}
+
+void ResultSink::record(TrialResult result) {
+  std::lock_guard lock(mutex_);
+  const std::size_t index = result.spec.index;
+  if (index >= rows_.size()) {
+    throw std::out_of_range("ResultSink::record: trial index " +
+                            std::to_string(index) + " >= expected " +
+                            std::to_string(rows_.size()));
+  }
+  if (present_[index]) {
+    throw std::logic_error("ResultSink::record: duplicate trial index " +
+                           std::to_string(index));
+  }
+  present_[index] = 1;
+  ++recorded_;
+  if (!result.ok()) ++failures_;
+  rows_[index] = std::move(result);
+}
+
+std::size_t ResultSink::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::size_t ResultSink::failures() const {
+  std::lock_guard lock(mutex_);
+  return failures_;
+}
+
+std::vector<TrialResult> ResultSink::take_rows() {
+  std::lock_guard lock(mutex_);
+  // A slot can only be empty if its worker died before record() (e.g. the
+  // task threw past run_trial's catch); surface that as a failure rather
+  // than a default-constructed "ok" row.
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!present_[i]) {
+      rows_[i].spec.index = i;
+      rows_[i].status = TrialStatus::kFailed;
+      rows_[i].error = "trial result missing (worker aborted before record)";
+      ++failures_;
+    }
+  }
+  return std::move(rows_);
+}
+
+const std::vector<std::string>& ResultSink::csv_header() {
+  static const std::vector<std::string> kHeader = {
+      "trial",        "dataset",     "nodes",        "algorithm",
+      "degree",       "gamma_train", "gamma_sync",   "sparse_k",
+      "seed",         "rounds",      "status",       "final_accuracy",
+      "std_accuracy", "best_accuracy", "train_energy_wh",
+      "comm_energy_wh", "fleet_budget_wh", "training_rounds",
+      "final_consensus", "error"};
+  return kHeader;
+}
+
+std::vector<std::string> ResultSink::csv_row(const TrialResult& row) {
+  const TrialSpec& spec = row.spec;
+  std::vector<std::string> cells;
+  cells.reserve(csv_header().size());
+  cells.push_back(std::to_string(spec.index));
+  cells.push_back(spec.data.dataset);
+  cells.push_back(std::to_string(spec.data.nodes));
+  cells.push_back(sim::algorithm_name(spec.options.algorithm));
+  cells.push_back(std::to_string(spec.options.degree));
+  cells.push_back(std::to_string(spec.options.gamma_train));
+  cells.push_back(std::to_string(spec.options.gamma_sync));
+  cells.push_back(std::to_string(spec.options.sparse_exchange_k));
+  cells.push_back(std::to_string(spec.options.seed));
+  cells.push_back(std::to_string(spec.options.total_rounds));
+  cells.push_back(row.ok() ? "ok" : "failed");
+  if (row.ok()) {
+    cells.push_back(util::format_double(row.result.final_mean_accuracy));
+    cells.push_back(util::format_double(row.result.final_std_accuracy));
+    cells.push_back(util::format_double(row.result.best_mean_accuracy));
+    cells.push_back(util::format_double(row.result.total_training_wh));
+    cells.push_back(util::format_double(row.result.total_comm_wh));
+    cells.push_back(util::format_double(row.result.fleet_budget_wh));
+    cells.push_back(std::to_string(row.result.coordinated_training_rounds));
+    // Populated only when the grid tracks consensus.
+    cells.push_back(row.spec.options.track_consensus &&
+                            !row.result.recorder.empty()
+                        ? util::format_double(
+                              row.result.recorder.last().consensus)
+                        : "");
+    cells.push_back("");
+  } else {
+    for (int i = 0; i < 8; ++i) cells.push_back("");
+    cells.push_back(row.error);
+  }
+  return cells;
+}
+
+void write_summary_csv(const std::string& path,
+                       const std::vector<TrialResult>& rows) {
+  util::CsvWriter csv(path, ResultSink::csv_header());
+  for (const TrialResult& row : rows) csv.write_row(ResultSink::csv_row(row));
+}
+
+std::string render_summary_table(const std::vector<TrialResult>& rows) {
+  util::TablePrinter table({"trial", "dataset", "algorithm", "deg", "Γt",
+                            "Γs", "seed", "status", "acc%", "train Wh"});
+  for (const TrialResult& row : rows) {
+    const TrialSpec& spec = row.spec;
+    table.add_row({std::to_string(spec.index), spec.data.dataset,
+                   sim::algorithm_name(spec.options.algorithm),
+                   std::to_string(spec.options.degree),
+                   std::to_string(spec.options.gamma_train),
+                   std::to_string(spec.options.gamma_sync),
+                   std::to_string(spec.options.seed),
+                   row.ok() ? "ok" : "FAILED",
+                   row.ok()
+                       ? util::fixed(100.0 * row.result.final_mean_accuracy, 2)
+                       : "-",
+                   row.ok() ? util::fixed(row.result.total_training_wh, 2)
+                            : row.error});
+  }
+  return table.render();
+}
+
+}  // namespace skiptrain::sweep

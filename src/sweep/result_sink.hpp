@@ -1,0 +1,66 @@
+// Thread-safe, order-preserving collection of sweep trial results.
+//
+// Workers record results as trials finish (any order); the sink slots each
+// one at its trial index, so the final rows — and therefore the CSV and
+// the rendered table — are in grid-expansion order regardless of worker
+// count or completion interleaving. Failures are first-class rows, never
+// swallowed: a failed trial carries its error text and is counted.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "sweep/grid.hpp"
+
+namespace skiptrain::sweep {
+
+enum class TrialStatus { kOk, kFailed };
+
+struct TrialResult {
+  TrialSpec spec;
+  TrialStatus status = TrialStatus::kOk;
+  std::string error;            // what() of the trial's exception
+  sim::ExperimentResult result; // valid when status == kOk
+  double wall_seconds = 0.0;    // per-trial runtime (not written to CSV)
+
+  bool ok() const { return status == TrialStatus::kOk; }
+};
+
+class ResultSink {
+ public:
+  explicit ResultSink(std::size_t expected_trials);
+
+  /// Slots `result` at result.spec.index. Thread-safe.
+  void record(TrialResult result);
+
+  std::size_t recorded() const;
+  std::size_t failures() const;
+
+  /// Rows in trial-index order. Only meaningful once every expected trial
+  /// has been recorded (the runner guarantees this before reading).
+  std::vector<TrialResult> take_rows();
+
+  /// Summary-CSV schema shared by the sink and SweepReport. Deliberately
+  /// excludes wall-clock so the bytes are reproducible run-to-run.
+  static const std::vector<std::string>& csv_header();
+  static std::vector<std::string> csv_row(const TrialResult& row);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TrialResult> rows_;
+  std::vector<char> present_;
+  std::size_t recorded_ = 0;
+  std::size_t failures_ = 0;
+};
+
+/// Writes rows (trial-index order) to `path` using the sink schema.
+void write_summary_csv(const std::string& path,
+                       const std::vector<TrialResult>& rows);
+
+/// Renders the rows as an aligned console table.
+[[nodiscard]] std::string render_summary_table(
+    const std::vector<TrialResult>& rows);
+
+}  // namespace skiptrain::sweep

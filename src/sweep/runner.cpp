@@ -1,0 +1,114 @@
+#include "sweep/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace skiptrain::sweep {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+void SweepReport::write_csv(const std::string& path) const {
+  write_summary_csv(path, trials);
+}
+
+std::string SweepReport::render_table() const {
+  return render_summary_table(trials);
+}
+
+const TrialResult* SweepReport::find_trial(const std::string& dataset,
+                                           std::size_t degree,
+                                           sim::Algorithm algorithm) const {
+  return find([&](const TrialResult& trial) {
+    return trial.spec.data.dataset == dataset &&
+           trial.spec.options.degree == degree &&
+           trial.spec.options.algorithm == algorithm;
+  });
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+TrialResult SweepRunner::run_trial(const TrialSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  TrialResult trial;
+  trial.spec = spec;
+  try {
+    const std::shared_ptr<const SharedWorkload> workload =
+        cache_.get(spec.data);
+    trial.result = sim::run_experiment(workload->data, workload->prototype,
+                                       spec.options);
+  } catch (const std::exception& e) {
+    trial.status = TrialStatus::kFailed;
+    trial.error = e.what();
+  } catch (...) {
+    trial.status = TrialStatus::kFailed;
+    trial.error = "unknown exception";
+  }
+  trial.wall_seconds = seconds_since(start);
+  if (options_.verbose) {
+    std::fprintf(stderr, "[sweep] trial %zu/%s %s (%.2fs)%s%s\n", spec.index,
+                 spec.data.dataset.c_str(),
+                 sim::algorithm_name(spec.options.algorithm),
+                 trial.wall_seconds, trial.ok() ? "" : " FAILED: ",
+                 trial.ok() ? "" : trial.error.c_str());
+  }
+  return trial;
+}
+
+SweepReport SweepRunner::run(const SweepGrid& grid) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<TrialSpec> trials = grid.expand();
+  ResultSink sink(trials.size());
+
+  if (options_.threads == 1) {
+    // Inline execution: the single trial in flight keeps the engine's
+    // node-level parallelism.
+    for (const TrialSpec& spec : trials) {
+      sink.record(run_trial(spec));
+    }
+  } else {
+    const std::size_t hardware =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    // Never more workers than trials (this also tames a nonsense request
+    // like size_t(-1) from a mis-cast negative CLI value).
+    const std::size_t requested =
+        options_.threads != 0 ? options_.threads : hardware;
+    const std::size_t workers =
+        std::min(requested, std::max<std::size_t>(trials.size(), 1));
+    // Pin each trial's node-level loops to its worker only when trial
+    // parallelism already saturates the machine; a small grid on a big
+    // machine keeps node-level parallelism so surplus cores stay busy.
+    const bool pin_serial = workers >= hardware;
+    util::ThreadPool pool(workers);
+    for (const TrialSpec& spec : trials) {
+      pool.submit([this, &sink, spec, pin_serial] {
+        std::optional<util::ThreadPool::ScopedForceSerial> serial_scope;
+        if (pin_serial) serial_scope.emplace();
+        sink.record(run_trial(spec));
+      });
+    }
+    pool.wait_idle();
+  }
+
+  SweepReport report;
+  report.name = grid.name;
+  report.trials = sink.take_rows();  // also flags any missing slots
+  report.failures = sink.failures();
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+}  // namespace skiptrain::sweep

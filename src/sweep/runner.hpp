@@ -1,0 +1,91 @@
+// SweepRunner: expands a SweepGrid and executes its trials concurrently.
+//
+// Parallelism model: trial-level parallelism on a util::ThreadPool, layered
+// over the engine's node-level parallel_for. When the trial workers
+// saturate the machine, each trial runs under
+// ThreadPool::ScopedForceSerial, so a trial's inner loops stay on its
+// worker (the nested-serial policy, extended across pools) — N workers run
+// N whole trials concurrently instead of fighting over node-level tasks.
+// When the grid is smaller than the machine, node-level parallelism stays
+// enabled so surplus cores are used. With threads == 1 the trials run
+// inline on the caller with full node-level parallelism — the schedule of
+// the old hand-rolled bench loops.
+//
+// Determinism: trials are pure functions of their TrialSpec (per-node RNG
+// streams, counter-based scheduler draws, index-ordered reductions), the
+// dataset cache shares one immutable build per DataConfig, and the result
+// sink orders rows by trial index — so the summary CSV is byte-identical
+// at any worker count.
+//
+// Failures: a throwing trial is caught, recorded as a failed row with its
+// error text, and counted in SweepReport::failures. It never tears down
+// the sweep and is never silently dropped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/dataset_cache.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/result_sink.hpp"
+
+namespace skiptrain::sweep {
+
+struct SweepOptions {
+  /// Concurrent trials. 0 = one per hardware thread; 1 = run inline with
+  /// node-level parallelism enabled inside the single trial.
+  std::size_t threads = 0;
+
+  /// Print a one-line progress note per finished trial to stderr.
+  bool verbose = false;
+};
+
+struct SweepReport {
+  std::string name;
+  std::vector<TrialResult> trials;  // grid-expansion (trial-index) order
+  std::size_t failures = 0;
+  double wall_seconds = 0.0;
+
+  bool all_ok() const { return failures == 0; }
+
+  /// Writes the summary CSV (ResultSink schema; no wall-clock columns).
+  void write_csv(const std::string& path) const;
+
+  /// Aligned console table of all trials.
+  [[nodiscard]] std::string render_table() const;
+
+  /// First trial matching `predicate`, or nullptr.
+  template <typename Predicate>
+  const TrialResult* find(Predicate predicate) const {
+    for (const TrialResult& trial : trials) {
+      if (predicate(trial)) return &trial;
+    }
+    return nullptr;
+  }
+
+  /// First trial of the (dataset, degree, algorithm) cell, or nullptr —
+  /// the lookup every figure/table bench does per report cell.
+  const TrialResult* find_trial(const std::string& dataset,
+                                std::size_t degree,
+                                sim::Algorithm algorithm) const;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Expands and runs the grid; blocks until every trial has finished.
+  SweepReport run(const SweepGrid& grid);
+
+  /// The shared dataset cache (persists across run() calls, so chained
+  /// sweeps over the same data reuse the builds).
+  DatasetCache& cache() { return cache_; }
+
+ private:
+  TrialResult run_trial(const TrialSpec& spec);
+
+  SweepOptions options_;
+  DatasetCache cache_;
+};
+
+}  // namespace skiptrain::sweep

@@ -1,0 +1,15 @@
+// Umbrella header for the sweep subsystem: declarative parameter grids
+// (grid.hpp), shared dataset caching (dataset_cache.hpp), thread-safe
+// ordered result collection (result_sink.hpp), the concurrent trial
+// executor (runner.hpp), and config-file/preset construction (config.hpp).
+//
+//   sweep::SweepGrid grid = sweep::make_preset("fig3");
+//   sweep::SweepReport report = sweep::SweepRunner({.threads = 4}).run(grid);
+//   report.write_csv("fig3_sweep.csv");
+#pragma once
+
+#include "sweep/config.hpp"
+#include "sweep/dataset_cache.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/result_sink.hpp"
+#include "sweep/runner.hpp"

@@ -72,7 +72,9 @@ void ArgParser::parse(int argc, const char* const* argv) {
         throw std::runtime_error("ArgParser: flag --" + token +
                                  " does not take a value");
       }
-      opt.value = "1";
+      // Move-assign dodges GCC 12's -Wrestrict false positive on the
+      // char*-assign path (PR105329) under -O2 inlining.
+      opt.value = std::string("1");
       continue;
     }
     if (!has_value) {

@@ -1,7 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -52,13 +52,37 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A raw submit()ed task must not tear down the pool (or leak
+    // in_flight_): log and keep serving. parallel_for chunks never reach
+    // this — they capture their own first exception and rethrow it on
+    // the calling thread.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[thread_pool] task threw: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "[thread_pool] task threw a non-std exception\n");
+    }
     {
       std::lock_guard lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }
 }
+
+namespace {
+thread_local bool t_force_serial = false;
+}  // namespace
+
+ThreadPool::ScopedForceSerial::ScopedForceSerial() : previous_(t_force_serial) {
+  t_force_serial = true;
+}
+
+ThreadPool::ScopedForceSerial::~ScopedForceSerial() {
+  t_force_serial = previous_;
+}
+
+bool ThreadPool::force_serial_active() { return t_force_serial; }
 
 bool ThreadPool::on_worker_thread() const {
   const auto self = std::this_thread::get_id();
@@ -82,7 +106,7 @@ void ThreadPool::parallel_for_chunks(
   if (begin >= end) return;
   const std::size_t count = end - begin;
   // Serial fallbacks: trivial ranges, or re-entrant calls from a worker.
-  if (count == 1 || workers_.empty() || on_worker_thread()) {
+  if (count == 1 || workers_.empty() || t_force_serial || on_worker_thread()) {
     fn(begin, end);
     return;
   }
@@ -90,9 +114,13 @@ void ThreadPool::parallel_for_chunks(
   const std::size_t base = count / num_chunks;
   const std::size_t remainder = count % num_chunks;
 
-  std::atomic<std::size_t> remaining{num_chunks};
+  // All completion state lives under done_mutex: the caller can only see
+  // remaining == 0 after the last worker released the lock, so no worker
+  // can touch these stack locals once the wait returns.
+  std::size_t remaining = num_chunks;
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::exception_ptr first_error;
 
   std::size_t offset = begin;
   for (std::size_t c = 0; c < num_chunks; ++c) {
@@ -101,15 +129,22 @@ void ThreadPool::parallel_for_chunks(
     const std::size_t hi = offset + len;
     offset = hi;
     submit([&, lo, hi] {
-      fn(lo, hi);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_one();
+      // The completion counter must reach zero even if a body throws, or
+      // the caller waits forever; the first error is rethrown below.
+      std::exception_ptr error;
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        error = std::current_exception();
       }
+      std::lock_guard lock(done_mutex);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) done_cv.notify_one();
     });
   }
   std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -39,6 +39,8 @@ class ThreadPool {
   /// Runs fn(i) for i in [begin, end), partitioned into contiguous blocks
   /// across the workers, and blocks until completion. `grain` bounds the
   /// smallest block size (reduces scheduling overhead for cheap bodies).
+  /// If a body throws, the remaining chunks still complete and the first
+  /// exception is rethrown on the calling thread.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
@@ -51,6 +53,25 @@ class ThreadPool {
 
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
+
+  /// While an instance is alive, parallel_for / parallel_for_chunks on the
+  /// calling thread run serially for EVERY pool, not just the one the
+  /// thread belongs to. This extends the nested-serial policy across
+  /// pools: the sweep runner executes whole trials on its workers and
+  /// pins each trial's node-level loops to that worker. Nests correctly.
+  class ScopedForceSerial {
+   public:
+    ScopedForceSerial();
+    ~ScopedForceSerial();
+    ScopedForceSerial(const ScopedForceSerial&) = delete;
+    ScopedForceSerial& operator=(const ScopedForceSerial&) = delete;
+
+   private:
+    bool previous_;
+  };
+
+  /// True when the calling thread is inside a ScopedForceSerial scope.
+  static bool force_serial_active();
 
   /// Process-wide pool sized from SKIPTRAIN_THREADS (if set) or the
   /// hardware concurrency. Constructed on first use.

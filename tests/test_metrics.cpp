@@ -154,7 +154,7 @@ TEST(Consensus, KnownConfiguration) {
 
 TEST(Consensus, RaggedInputThrows) {
   std::vector<std::vector<float>> params{{1.0f, 2.0f}, {1.0f}};
-  EXPECT_THROW(consensus_distance(params), std::invalid_argument);
+  EXPECT_THROW((void)consensus_distance(params), std::invalid_argument);
 }
 
 TEST(Recorder, BestAndLastAccessors) {

@@ -15,7 +15,8 @@ TEST(Equations, ExpectedTrainingRounds) {
   EXPECT_DOUBLE_EQ(expected_training_rounds(4, 4, 1000), 500.0);
   EXPECT_NEAR(expected_training_rounds(4, 2, 1000), 666.67, 0.01);
   EXPECT_DOUBLE_EQ(expected_training_rounds(1, 4, 1000), 200.0);
-  EXPECT_THROW(expected_training_rounds(0, 4, 100), std::invalid_argument);
+  EXPECT_THROW((void)expected_training_rounds(0, 4, 100),
+               std::invalid_argument);
 }
 
 TEST(Equations, TrainingProbabilityClamps) {

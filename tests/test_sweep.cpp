@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+
+namespace skiptrain::sweep {
+namespace {
+
+/// A grid small enough that a full sweep runs in well under a second.
+SweepGrid tiny_grid() {
+  SweepGrid grid;
+  grid.name = "tiny";
+  grid.data.nodes = 8;
+  grid.data.samples_per_node = 6;
+  grid.data.test_pool = 40;
+  grid.base.total_rounds = 4;
+  grid.base.local_steps = 1;
+  grid.base.batch_size = 4;
+  grid.base.eval_every = 4;
+  grid.base.eval_max_samples = 20;
+  grid.base.degree = 2;
+  return grid;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SweepGrid, EmptyAxesExpandToSingleBaseTrial) {
+  SweepGrid grid = tiny_grid();
+  EXPECT_EQ(grid.trial_count(), 1u);
+  const auto trials = grid.expand();
+  ASSERT_EQ(trials.size(), 1u);
+  EXPECT_EQ(trials[0].index, 0u);
+  EXPECT_EQ(trials[0].options.degree, 2u);
+  EXPECT_EQ(trials[0].data.nodes, 8u);
+  EXPECT_EQ(trials[0].options.workload, energy::Workload::kCifar10);
+}
+
+TEST(SweepGrid, CrossProductCountAndNestingOrder) {
+  SweepGrid grid = tiny_grid();
+  grid.degrees = {2, 4};
+  grid.gamma_syncs = {1, 2, 3};
+  grid.gamma_trains = {1, 2};
+  EXPECT_EQ(grid.trial_count(), 12u);
+  const auto trials = grid.expand();
+  ASSERT_EQ(trials.size(), 12u);
+  // Degrees outermost, then Γsync, then Γtrain innermost.
+  EXPECT_EQ(trials[0].options.degree, 2u);
+  EXPECT_EQ(trials[0].options.gamma_sync, 1u);
+  EXPECT_EQ(trials[0].options.gamma_train, 1u);
+  EXPECT_EQ(trials[1].options.gamma_train, 2u);
+  EXPECT_EQ(trials[2].options.gamma_sync, 2u);
+  EXPECT_EQ(trials[6].options.degree, 4u);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].index, i);
+  }
+}
+
+TEST(SweepGrid, SeedAxisSetsBothRunAndDataSeed) {
+  SweepGrid grid = tiny_grid();
+  grid.seeds = {7, 9};
+  const auto trials = grid.expand();
+  ASSERT_EQ(trials.size(), 2u);
+  EXPECT_EQ(trials[0].options.seed, 7u);
+  EXPECT_EQ(trials[0].data.seed, 7u);
+  EXPECT_EQ(trials[1].options.seed, 9u);
+  EXPECT_EQ(trials[1].data.seed, 9u);
+}
+
+TEST(SweepGrid, FinalizeCouplesAxesAndRunsBeforeBudgetScaling) {
+  SweepGrid grid = tiny_grid();
+  grid.degrees = {6, 8, 10};
+  grid.algorithms = {sim::Algorithm::kSkipTrain};
+  grid.scale_budgets_to_paper = true;
+  grid.finalize = [](TrialSpec& spec) {
+    const auto [gamma_train, gamma_sync] = tuned_gammas(spec.options.degree);
+    spec.options.gamma_train = gamma_train;
+    spec.options.gamma_sync = gamma_sync;
+    spec.options.total_rounds = 10;
+  };
+  const auto trials = grid.expand();
+  ASSERT_EQ(trials.size(), 3u);
+  EXPECT_EQ(trials[1].options.gamma_train, 3u);
+  EXPECT_EQ(trials[1].options.gamma_sync, 3u);
+  EXPECT_EQ(trials[2].options.gamma_train, 4u);
+  EXPECT_EQ(trials[2].options.gamma_sync, 2u);
+  // Budget scale uses the finalized horizon (10 / 1000).
+  EXPECT_DOUBLE_EQ(trials[0].options.budget_scale, 0.01);
+}
+
+TEST(SweepGrid, UnknownDatasetThrows) {
+  SweepGrid grid = tiny_grid();
+  grid.datasets = {"mnist"};
+  EXPECT_THROW(grid.expand(), std::invalid_argument);
+}
+
+TEST(DatasetCache, SharesOneBuildPerKey) {
+  DatasetCache cache;
+  DataConfig config;
+  config.nodes = 8;
+  config.samples_per_node = 6;
+  config.test_pool = 40;
+  const auto first = cache.get(config);
+  const auto second = cache.get(config);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
+
+  DataConfig other = config;
+  other.seed = 43;
+  const auto third = cache.get(other);
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(first->data.num_nodes(), 8u);
+}
+
+TEST(DatasetCache, ConcurrentGetsReturnTheSameBuild) {
+  DatasetCache cache;
+  DataConfig config;
+  config.nodes = 8;
+  config.samples_per_node = 6;
+  config.test_pool = 40;
+  std::vector<std::shared_ptr<const SharedWorkload>> seen(8);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    threads.emplace_back([&cache, &seen, config, i] {
+      seen[i] = cache.get(config);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& workload : seen) {
+    EXPECT_EQ(workload.get(), seen[0].get());
+  }
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultSink, OrdersRowsByTrialIndexNotArrival) {
+  ResultSink sink(3);
+  for (const std::size_t index : {2u, 0u, 1u}) {
+    TrialResult result;
+    result.spec.index = index;
+    result.spec.options.seed = 100 + index;
+    sink.record(std::move(result));
+  }
+  EXPECT_EQ(sink.recorded(), 3u);
+  const auto rows = sink.take_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].spec.index, i);
+    EXPECT_EQ(rows[i].spec.options.seed, 100 + i);
+  }
+}
+
+TEST(ResultSink, UnrecordedSlotsSurfaceAsFailures) {
+  ResultSink sink(2);
+  TrialResult result;
+  result.spec.index = 0;
+  sink.record(result);
+  const auto rows = sink.take_rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].ok());
+  EXPECT_FALSE(rows[1].ok());
+  EXPECT_EQ(rows[1].spec.index, 1u);
+  EXPECT_NE(rows[1].error.find("missing"), std::string::npos);
+  EXPECT_EQ(sink.failures(), 1u);
+}
+
+TEST(ResultSink, RejectsDuplicateAndOutOfRangeIndices) {
+  ResultSink sink(2);
+  TrialResult result;
+  result.spec.index = 1;
+  sink.record(result);
+  EXPECT_THROW(sink.record(result), std::logic_error);
+  result.spec.index = 2;
+  EXPECT_THROW(sink.record(result), std::out_of_range);
+}
+
+TEST(SweepRunner, ResultsAreByteIdenticalAcrossWorkerCounts) {
+  SweepGrid grid = tiny_grid();
+  grid.algorithms = {sim::Algorithm::kSkipTrain, sim::Algorithm::kDpsgd};
+  grid.gamma_trains = {1, 2};
+  grid.seeds = {1, 2};
+
+  SweepOptions serial_options;
+  serial_options.threads = 1;
+  const SweepReport serial = SweepRunner(serial_options).run(grid);
+
+  SweepOptions parallel_options;
+  parallel_options.threads = 4;
+  const SweepReport parallel = SweepRunner(parallel_options).run(grid);
+
+  ASSERT_EQ(serial.trials.size(), 8u);
+  ASSERT_EQ(parallel.trials.size(), 8u);
+  EXPECT_TRUE(serial.all_ok());
+  EXPECT_TRUE(parallel.all_ok());
+
+  const std::string serial_path =
+      testing::TempDir() + "sweep_serial.csv";
+  const std::string parallel_path =
+      testing::TempDir() + "sweep_parallel.csv";
+  serial.write_csv(serial_path);
+  parallel.write_csv(parallel_path);
+  const std::string serial_bytes = read_file(serial_path);
+  EXPECT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, read_file(parallel_path));
+}
+
+TEST(SweepRunner, TrialFailuresAreReportedNotSwallowed) {
+  SweepGrid grid = tiny_grid();
+  // degree >= nodes makes the topology builder throw for the middle trial.
+  grid.degrees = {2, 9, 2};
+  grid.seeds = {1, 2};
+  SweepOptions options;
+  options.threads = 2;
+  const SweepReport report = SweepRunner(options).run(grid);
+  ASSERT_EQ(report.trials.size(), 6u);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.failures, 2u);
+  for (const TrialResult& trial : report.trials) {
+    if (trial.spec.options.degree == 9) {
+      EXPECT_FALSE(trial.ok());
+      EXPECT_NE(trial.error.find("degree"), std::string::npos);
+    } else {
+      EXPECT_TRUE(trial.ok());
+      EXPECT_GT(trial.result.final_mean_accuracy, 0.0);
+    }
+  }
+  // Failed rows surface in the CSV with their error, status "failed".
+  const std::string path = testing::TempDir() + "sweep_failures.csv";
+  report.write_csv(path);
+  const std::string bytes = read_file(path);
+  EXPECT_NE(bytes.find("failed"), std::string::npos);
+  EXPECT_NE(bytes.find("degree"), std::string::npos);
+}
+
+TEST(SweepRunner, ReusesDatasetBuildsAcrossTrials) {
+  SweepGrid grid = tiny_grid();
+  grid.gamma_trains = {1, 2, 3};
+  SweepRunner runner;
+  const SweepReport report = runner.run(grid);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(runner.cache().size(), 1u);  // three trials, one dataset build
+}
+
+TEST(SweepRunner, ConsensusColumnPopulatedWhenTracked) {
+  SweepGrid grid = tiny_grid();
+  const SweepReport untracked = SweepRunner({.threads = 1}).run(grid);
+  ASSERT_TRUE(untracked.all_ok());
+  auto cells = ResultSink::csv_row(untracked.trials[0]);
+  EXPECT_TRUE(cells[cells.size() - 2].empty());  // final_consensus column
+
+  grid.base.track_consensus = true;
+  const SweepReport tracked = SweepRunner({.threads = 1}).run(grid);
+  ASSERT_TRUE(tracked.all_ok());
+  cells = ResultSink::csv_row(tracked.trials[0]);
+  EXPECT_FALSE(cells[cells.size() - 2].empty());
+}
+
+TEST(SweepConfig, NegativeIntegersAreRejected) {
+  EXPECT_THROW(grid_from_kv({{"rounds", "-1"}}), std::invalid_argument);
+  EXPECT_THROW(grid_from_kv({{"seeds", "-3,4"}}), std::invalid_argument);
+}
+
+TEST(SweepConfig, SplitListExpandsRanges) {
+  const auto tokens = split_list(" 1..3 , 7, 10 ");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "1");
+  EXPECT_EQ(tokens[2], "3");
+  EXPECT_EQ(tokens[3], "7");
+  EXPECT_EQ(tokens[4], "10");
+  EXPECT_THROW(split_list("5..2"), std::invalid_argument);
+}
+
+TEST(SweepConfig, ParseAlgorithmRoundTrips) {
+  for (const auto algorithm :
+       {sim::Algorithm::kDpsgd, sim::Algorithm::kDpsgdAllReduce,
+        sim::Algorithm::kSkipTrain, sim::Algorithm::kSkipTrainConstrained,
+        sim::Algorithm::kGreedy}) {
+    EXPECT_EQ(parse_algorithm(algorithm_token(algorithm)), algorithm);
+  }
+  EXPECT_THROW((void)parse_algorithm("fedavg"), std::invalid_argument);
+}
+
+TEST(SweepConfig, GridFromKvBuildsAxesAndBase) {
+  const SweepGrid grid = grid_from_kv({{"name", "custom"},
+                                       {"dataset", "both"},
+                                       {"nodes", "8,16"},
+                                       {"algorithms", "skiptrain,dpsgd"},
+                                       {"degrees", "2,4"},
+                                       {"gamma-train", "1..2"},
+                                       {"rounds", "6"},
+                                       {"batch", "4"},
+                                       {"seeds", "1,2,3"},
+                                       {"tuned-gammas", "false"},
+                                       {"eval-on-validation", "true"}});
+  EXPECT_EQ(grid.name, "custom");
+  EXPECT_EQ(grid.datasets.size(), 2u);
+  EXPECT_EQ(grid.node_counts.size(), 2u);
+  EXPECT_EQ(grid.algorithms.size(), 2u);
+  EXPECT_EQ(grid.gamma_trains.size(), 2u);
+  EXPECT_EQ(grid.base.total_rounds, 6u);
+  EXPECT_EQ(grid.base.batch_size, 4u);
+  EXPECT_TRUE(grid.base.eval_on_validation);
+  EXPECT_FALSE(grid.finalize);
+  EXPECT_EQ(grid.trial_count(), 2u * 2u * 3u * 2u * 2u * 2u);
+}
+
+TEST(SweepConfig, UnknownKeyThrows) {
+  EXPECT_THROW(grid_from_kv({{"topology", "ring"}}), std::invalid_argument);
+  EXPECT_THROW(grid_from_kv({{"rounds", "abc"}}), std::invalid_argument);
+}
+
+TEST(SweepConfig, LoadGridFileParsesCommentsAndPairs) {
+  const std::string path = testing::TempDir() + "grid.conf";
+  {
+    std::ofstream out(path);
+    out << "# gamma sweep\n"
+        << "name = filegrid\n"
+        << "degrees = 2, 4  # inline comment\n"
+        << "gamma-sync = 1..2\n"
+        << "\n"
+        << "tuned-gammas = true\n";
+  }
+  const SweepGrid grid = load_grid_file(path);
+  EXPECT_EQ(grid.name, "filegrid");
+  EXPECT_EQ(grid.degrees.size(), 2u);
+  EXPECT_EQ(grid.gamma_syncs.size(), 2u);
+  EXPECT_TRUE(static_cast<bool>(grid.finalize));
+  EXPECT_THROW(load_grid_file(testing::TempDir() + "missing.conf"),
+               std::runtime_error);
+}
+
+TEST(SweepConfig, PresetsExpandToTheirPublishedShapes) {
+  EXPECT_EQ(make_preset("fig3").trial_count(), 48u);   // 3 deg x 4x4 Γ
+  EXPECT_EQ(make_preset("fig5").trial_count(), 12u);   // 2 ds x 2 alg x 3 deg
+  EXPECT_EQ(make_preset("fig6").trial_count(), 9u);    // 3 alg x 3 deg
+  EXPECT_EQ(make_preset("table3").trial_count(), 12u);
+  EXPECT_EQ(make_preset("smartphone").trial_count(), 3u);
+  EXPECT_THROW(make_preset("fig9"), std::invalid_argument);
+
+  // The fig5 preset couples the tuned Γ pair to the topology degree.
+  const auto trials = make_preset("fig5").expand();
+  for (const TrialSpec& spec : trials) {
+    if (spec.options.algorithm == sim::Algorithm::kSkipTrain) {
+      const auto [gamma_train, gamma_sync] =
+          tuned_gammas(spec.options.degree);
+      EXPECT_EQ(spec.options.gamma_train, gamma_train);
+      EXPECT_EQ(spec.options.gamma_sync, gamma_sync);
+    }
+  }
+
+  // --eval-every overrides every preset's hardcoded cadence.
+  PresetParams cadence;
+  cadence.eval_every = 7;
+  for (const char* name : {"fig3", "fig5", "fig6", "table3", "smartphone"}) {
+    const auto cadence_trials = make_preset(name, cadence).expand();
+    ASSERT_FALSE(cadence_trials.empty());
+    EXPECT_EQ(cadence_trials[0].options.eval_every, 7u) << name;
+  }
+
+  // --full swaps in the paper horizon per workload.
+  PresetParams params;
+  params.full = true;
+  for (const TrialSpec& spec : make_preset("table3", params).expand()) {
+    EXPECT_EQ(spec.data.nodes, 256u);
+    EXPECT_EQ(spec.options.total_rounds,
+              energy::workload_spec(spec.options.workload).total_rounds);
+    EXPECT_DOUBLE_EQ(spec.options.budget_scale, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace skiptrain::sweep

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -104,6 +105,46 @@ TEST(ThreadPool, OnWorkerThreadDetection) {
 TEST(ThreadPool, SizeMatchesConstruction) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyExceptionOnCaller) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          executed.fetch_add(1);
+                          if (i == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool stays usable: the counter reached zero (no deadlock) and a
+  // follow-up loop completes normally.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+  EXPECT_GT(executed.load(), 0);
+}
+
+TEST(ThreadPool, ScopedForceSerialPinsLoopsToCallingThread) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(ThreadPool::force_serial_active());
+  const auto self = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(16);
+  {
+    ThreadPool::ScopedForceSerial guard;
+    EXPECT_TRUE(ThreadPool::force_serial_active());
+    // Even a foreign pool's parallel_for must stay on this thread.
+    pool.parallel_for(0, ran_on.size(), [&](std::size_t i) {
+      ran_on[i] = std::this_thread::get_id();
+    });
+    {
+      ThreadPool::ScopedForceSerial nested;  // nests and restores correctly
+      EXPECT_TRUE(ThreadPool::force_serial_active());
+    }
+    EXPECT_TRUE(ThreadPool::force_serial_active());
+  }
+  EXPECT_FALSE(ThreadPool::force_serial_active());
+  for (const auto id : ran_on) EXPECT_EQ(id, self);
 }
 
 TEST(ThreadPool, GlobalPoolIsUsable) {
