@@ -2,9 +2,19 @@
 // decentralized aggregation step, a full engine round, topology/mixing
 // construction, and evaluation. These quantify what a simulated round
 // costs and where the wall-clock goes.
+//
+// Results are written to BENCH_aggregate.json (override with
+// --benchmark_out=...) so CI records the gossip-kernel perf trajectory
+// per PR. `--quick` runs only the aggregate-phase grid at a short
+// min-time — the mode the CI Release job uses.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "core/skiptrain.hpp"
+#include "plane/plane.hpp"
 
 namespace {
 
@@ -48,6 +58,89 @@ void BM_AggregationStep(benchmark::State& state) {
                           static_cast<std::int64_t>(dim * (degree + 1)));
 }
 BENCHMARK(BM_AggregationStep)->Arg(6)->Arg(8)->Arg(10);
+
+// ---------------------------------------------------------------------------
+// Aggregate phase: the seed engine's scattered row loop (including its
+// get_parameters/set_parameters copies) vs the blocked plane kernel the
+// engine now runs. Grid: fleet size x parameter dimension.
+// ---------------------------------------------------------------------------
+
+graph::MixingMatrix aggregate_mixing(std::size_t nodes) {
+  util::Rng rng(41);
+  const auto topology = graph::make_random_regular(nodes, 6, rng);
+  return graph::MixingMatrix::metropolis_hastings(topology);
+}
+
+void BM_AggregateSeedRowLoop(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto mixing = aggregate_mixing(nodes);
+
+  // Pre-refactor storage model: layer-owned vectors (modelled as one
+  // owned vector per node) plus the two per-round snapshot copies.
+  std::vector<std::vector<float>> model(nodes, std::vector<float>(dim));
+  std::vector<std::vector<float>> half(nodes, std::vector<float>(dim));
+  std::vector<std::vector<float>> current(nodes, std::vector<float>(dim));
+  util::Rng rng(42);
+  for (auto& row : model) rng.fill_normal(row, 0.0f, 1.0f);
+
+  for (auto _ : state) {
+    util::parallel_for(0, nodes, [&](std::size_t i) {
+      // get_parameters: model -> half snapshot.
+      std::copy(model[i].begin(), model[i].end(), half[i].begin());
+    });
+    util::parallel_for(0, nodes, [&](std::size_t i) {
+      auto& out = current[i];
+      const auto& mine = half[i];
+      const float self_w = mixing.self_weight(i);
+      for (std::size_t k = 0; k < out.size(); ++k) out[k] = self_w * mine[k];
+      for (const auto& entry : mixing.neighbor_weights(i)) {
+        const auto& theirs = half[entry.neighbor];
+        const float w = entry.weight;
+        for (std::size_t k = 0; k < out.size(); ++k) out[k] += w * theirs[k];
+      }
+      // set_parameters: aggregated row -> model.
+      std::copy(out.begin(), out.end(), model[i].begin());
+    });
+    benchmark::DoNotOptimize(model.front().data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(nodes * dim * sizeof(float)));
+}
+BENCHMARK(BM_AggregateSeedRowLoop)
+    ->Args({16, 2752})
+    ->Args({64, 2752})
+    ->Args({16, 100000})
+    ->Args({64, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AggregatePlaneBlocked(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto mixing = aggregate_mixing(nodes);
+
+  plane::ParameterPlane fleet_plane(nodes, dim);
+  util::Rng rng(42);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    rng.fill_normal(fleet_plane.current().row(i), 0.0f, 1.0f);
+  }
+  for (auto _ : state) {
+    // The engine's whole aggregate phase: blocked kernel + buffer flip
+    // (model rows re-attach by pointer swap — nothing to copy).
+    plane::apply_mixing(mixing, fleet_plane);
+    benchmark::DoNotOptimize(fleet_plane.current().row(0).data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(nodes * dim * sizeof(float)));
+}
+BENCHMARK(BM_AggregatePlaneBlocked)
+    ->Args({16, 2752})
+    ->Args({64, 2752})
+    ->Args({16, 100000})
+    ->Args({64, 100000})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LocalSgdStep(benchmark::State& state) {
   data::CifarSynConfig config;
@@ -150,4 +243,41 @@ BENCHMARK(BM_ShardPartition)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--quick` restricts the run to the aggregate-phase grid at
+// a short min-time (the per-PR CI mode), and results default to
+// BENCH_aggregate.json so the perf trajectory is recorded even when no
+// --benchmark_out is given.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  bool quick = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--quick") {
+      quick = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (quick) {
+    args.insert(args.begin() + 1, "--benchmark_filter=BM_Aggregate");
+    args.insert(args.begin() + 1, "--benchmark_min_time=0.05");
+  }
+  const bool has_out =
+      std::any_of(args.begin(), args.end(), [](const std::string& arg) {
+        return arg.rfind("--benchmark_out=", 0) == 0;
+      });
+  if (!has_out) {
+    args.push_back("--benchmark_out=BENCH_aggregate.json");
+    args.push_back("--benchmark_out_format=json");
+  }
+
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& arg : args) argv2.push_back(arg.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

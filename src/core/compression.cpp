@@ -80,4 +80,31 @@ void accumulate_masked_difference(std::span<const std::uint32_t> mask,
   }
 }
 
+void gather_masked(std::span<const std::uint32_t> mask,
+                   std::span<const float> row, std::span<float> staged) {
+  if (staged.size() != mask.size()) {
+    throw std::invalid_argument("gather_masked: staged size != mask size");
+  }
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    assert(mask[i] < row.size());
+    staged[i] = row[mask[i]];
+  }
+}
+
+void accumulate_staged_difference(std::span<const std::uint32_t> mask,
+                                  std::span<const float> theirs_staged,
+                                  std::span<const float> mine_staged,
+                                  std::span<float> out, float weight) {
+  if (theirs_staged.size() != mask.size() ||
+      mine_staged.size() != mask.size()) {
+    throw std::invalid_argument(
+        "accumulate_staged_difference: staged size != mask size");
+  }
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    const std::uint32_t c = mask[i];
+    assert(c < out.size());
+    out[c] += weight * (theirs_staged[i] - mine_staged[i]);
+  }
+}
+
 }  // namespace skiptrain::core

@@ -69,4 +69,20 @@ void accumulate_masked_difference(std::span<const std::uint32_t> mask,
                                   std::span<const float> base,
                                   std::span<float> out, float weight);
 
+/// Gathers the mask coordinates of a dense plane row into a compact array:
+/// staged[i] = row[mask[i]]. staged.size() must equal mask.size().
+void gather_masked(std::span<const std::uint32_t> mask,
+                   std::span<const float> row, std::span<float> staged);
+
+/// Staged form of accumulate_masked_difference: both parties' masked
+/// coordinates have been gathered (gather_masked) into compact pre-update
+/// snapshots, so the receiver can aggregate IN PLACE on its plane row —
+///   out[mask[i]] += weight * (theirs_staged[i] - mine_staged[i]) —
+/// touching only k coordinates instead of copying the dense row first.
+/// `out` may alias the row `mine_staged` was gathered from.
+void accumulate_staged_difference(std::span<const std::uint32_t> mask,
+                                  std::span<const float> theirs_staged,
+                                  std::span<const float> mine_staged,
+                                  std::span<float> out, float weight);
+
 }  // namespace skiptrain::core

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace skiptrain::graph {
 
@@ -139,6 +143,73 @@ double MixingMatrix::second_eigenvalue(std::size_t iterations) const {
     std::swap(x, next);
   }
   return lambda;
+}
+
+namespace {
+
+/// Column-block width such that one block of every row (n · block · 4
+/// bytes) stays within ~512 KiB — the reuse window that lets each
+/// neighbor-row slice be read from cache instead of DRAM.
+std::size_t pick_block_floats(std::size_t nodes, std::size_t dim) {
+  constexpr std::size_t kTargetBytes = 512u * 1024u;
+  const std::size_t target =
+      kTargetBytes / (sizeof(float) * std::max<std::size_t>(nodes, 1));
+  // Floor the tile at 512 floats, but never exceed the row length (small
+  // models get a single block).
+  return std::min(std::max<std::size_t>(target, 512),
+                  std::max<std::size_t>(dim, 1));
+}
+
+}  // namespace
+
+void apply_mixing_blocked(const MixingMatrix& mixing,
+                          std::span<const float> x_half,
+                          std::span<float> x_current, std::size_t dim,
+                          std::size_t block_floats) {
+  const std::size_t n = mixing.num_nodes();
+  if (x_half.size() != n * dim || x_current.size() != n * dim) {
+    throw std::invalid_argument("apply_mixing_blocked: plane size mismatch");
+  }
+  if (n == 0 || dim == 0) return;
+  const std::size_t block =
+      block_floats != 0 ? block_floats : pick_block_floats(n, dim);
+  const std::size_t num_blocks = (dim + block - 1) / block;
+  // Threads own disjoint column blocks, so writes never overlap and every
+  // (node, block) slice is computed by exactly one deterministic sequence
+  // of float ops regardless of the worker count.
+  util::parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t begin = b * block;
+    const std::size_t len = std::min(block, dim - begin);
+    const auto half_slice = [&](std::size_t node) {
+      return x_half.subspan(node * dim + begin, len);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto mine = half_slice(i);
+      const auto out = x_current.subspan(i * dim + begin, len);
+      const auto nbrs = mixing.neighbor_weights(i);
+      const float self_w = mixing.self_weight(i);
+      // Group the weighted row reduction into 3- and 2-term fused passes:
+      // same add order as one scaled_copy + deg axpys (bitwise identical),
+      // but out is written back once per group instead of once per term.
+      std::size_t e = 0;
+      if (nbrs.size() >= 2) {
+        tensor::weighted_sum3(self_w, mine, nbrs[0].weight,
+                              half_slice(nbrs[0].neighbor), nbrs[1].weight,
+                              half_slice(nbrs[1].neighbor), out);
+        e = 2;
+      } else {
+        tensor::scaled_copy(self_w, mine, out);
+      }
+      for (; e + 2 <= nbrs.size(); e += 2) {
+        tensor::axpy2(nbrs[e].weight, half_slice(nbrs[e].neighbor),
+                      nbrs[e + 1].weight, half_slice(nbrs[e + 1].neighbor),
+                      out);
+      }
+      if (e < nbrs.size()) {
+        tensor::axpy(nbrs[e].weight, half_slice(nbrs[e].neighbor), out);
+      }
+    }
+  });
 }
 
 }  // namespace skiptrain::graph

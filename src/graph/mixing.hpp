@@ -68,4 +68,21 @@ class MixingMatrix {
   std::vector<std::vector<Entry>> neighbors_;
 };
 
+/// Blocked gossip aggregation kernel — the hot loop of a simulated round:
+///
+///   x_current[i,:] = W_ii · x_half[i,:] + Σ_j W_ij · x_half[j,:]
+///
+/// `x_half` and `x_current` are row-major [n × dim] parameter planes that
+/// must not alias. The parameter dimension is tiled into column blocks of
+/// `block_floats` (0 = pick a tile so all n row-slices of one block stay
+/// cache-resident), and the blocks are farmed out to the thread pool —
+/// each column block of x_half is then streamed from DRAM once per round
+/// instead of deg(i)+1 times. Per block the per-node update dispatches to
+/// tensor::copy/scale/axpy in neighbor order, so the result is bitwise
+/// identical to the naive per-row loop at any thread count or block size.
+void apply_mixing_blocked(const MixingMatrix& mixing,
+                          std::span<const float> x_half,
+                          std::span<float> x_current, std::size_t dim,
+                          std::size_t block_floats = 0);
+
 }  // namespace skiptrain::graph

@@ -40,6 +40,38 @@ EvalResult Evaluator::evaluate(nn::Sequential& model) const {
                     weighted_loss / static_cast<double>(samples_)};
 }
 
+namespace {
+
+/// Arithmetic mean over rows supplied by any accessor i -> span<const float>.
+template <typename RowFn>
+std::vector<float> mean_of_rows(std::size_t rows, std::size_t dim,
+                                RowFn row) {
+  std::vector<float> mean(dim, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const float> params = row(r);
+    for (std::size_t i = 0; i < dim; ++i) mean[i] += params[i];
+  }
+  const float inv = 1.0f / static_cast<float>(rows);
+  for (auto& v : mean) v *= inv;
+  return mean;
+}
+
+}  // namespace
+
+EvalResult Evaluator::evaluate_average(
+    const nn::Sequential& prototype,
+    plane::ConstMatrixView node_params) const {
+  if (node_params.empty()) {
+    throw std::invalid_argument("evaluate_average: no node parameters");
+  }
+  const std::vector<float> mean =
+      mean_of_rows(node_params.rows, node_params.dim,
+                   [&](std::size_t i) { return node_params.row(i); });
+  nn::Sequential averaged = prototype.clone();
+  averaged.set_parameters(mean);
+  return evaluate(averaged);
+}
+
 EvalResult Evaluator::evaluate_average(
     const nn::Sequential& prototype,
     std::span<const std::vector<float>> node_params) const {
@@ -47,16 +79,15 @@ EvalResult Evaluator::evaluate_average(
     throw std::invalid_argument("evaluate_average: no node parameters");
   }
   const std::size_t dim = node_params.front().size();
-  std::vector<float> mean(dim, 0.0f);
   for (const auto& params : node_params) {
     if (params.size() != dim) {
       throw std::invalid_argument("evaluate_average: ragged parameter list");
     }
-    for (std::size_t i = 0; i < dim; ++i) mean[i] += params[i];
   }
-  const float inv = 1.0f / static_cast<float>(node_params.size());
-  for (auto& v : mean) v *= inv;
-
+  const std::vector<float> mean =
+      mean_of_rows(node_params.size(), dim, [&](std::size_t i) {
+        return std::span<const float>(node_params[i]);
+      });
   nn::Sequential averaged = prototype.clone();
   averaged.set_parameters(mean);
   return evaluate(averaged);

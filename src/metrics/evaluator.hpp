@@ -7,6 +7,7 @@
 
 #include "data/dataset.hpp"
 #include "nn/sequential.hpp"
+#include "plane/plane.hpp"
 #include "util/stats.hpp"
 
 namespace skiptrain::metrics {
@@ -30,7 +31,11 @@ class Evaluator {
 
   /// Accuracy/loss of the model whose parameters are the arithmetic mean
   /// of `node_params` — the paper's "all-reduced model" metric (Fig. 1).
-  /// `prototype` provides the architecture (cloned internally).
+  /// `prototype` provides the architecture (cloned internally). The plane
+  /// view form reads engine rows zero-copy; the vector form serves owned
+  /// snapshots.
+  EvalResult evaluate_average(const nn::Sequential& prototype,
+                              plane::ConstMatrixView node_params) const;
   EvalResult evaluate_average(
       const nn::Sequential& prototype,
       std::span<const std::vector<float>> node_params) const;

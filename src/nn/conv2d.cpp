@@ -8,15 +8,13 @@ namespace skiptrain::nn {
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel_size, std::size_t stride,
                std::size_t padding)
-    : in_c_(in_channels),
+    : ParamLayer(out_channels * in_channels * kernel_size * kernel_size +
+                 out_channels),
+      in_c_(in_channels),
       out_c_(out_channels),
       k_(kernel_size),
       stride_(stride),
-      pad_(padding),
-      params_(out_channels * in_channels * kernel_size * kernel_size +
-                  out_channels,
-              0.0f),
-      grads_(params_.size(), 0.0f) {
+      pad_(padding) {
   if (stride_ == 0) throw std::invalid_argument("Conv2d: stride must be > 0");
 }
 
@@ -140,10 +138,6 @@ void Conv2d::backward(const Tensor& input, const Tensor& grad_output,
       }
     }
   }
-}
-
-void Conv2d::zero_grad() {
-  std::fill(grads_.begin(), grads_.end(), 0.0f);
 }
 
 std::unique_ptr<Layer> Conv2d::clone() const {

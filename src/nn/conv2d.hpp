@@ -9,7 +9,7 @@
 
 namespace skiptrain::nn {
 
-class Conv2d final : public Layer {
+class Conv2d final : public ParamLayer {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels,
          std::size_t kernel_size, std::size_t stride = 1,
@@ -20,11 +20,6 @@ class Conv2d final : public Layer {
   void forward(const Tensor& input, Tensor& output) override;
   void backward(const Tensor& input, const Tensor& grad_output,
                 Tensor& grad_input) override;
-
-  std::span<float> parameters() override { return params_; }
-  std::span<const float> parameters() const override { return params_; }
-  std::span<float> gradients() override { return grads_; }
-  void zero_grad() override;
 
   std::unique_ptr<Layer> clone() const override;
 
@@ -40,8 +35,7 @@ class Conv2d final : public Layer {
   std::size_t k_;
   std::size_t stride_;
   std::size_t pad_;
-  std::vector<float> params_;  // weights then bias
-  std::vector<float> grads_;
+  // ParamLayer::params_ holds the weights then the bias.
 };
 
 }  // namespace skiptrain::nn

@@ -7,11 +7,10 @@
 namespace skiptrain::nn {
 
 GroupNorm::GroupNorm(std::size_t num_groups, std::size_t channels, float eps)
-    : groups_(num_groups),
+    : ParamLayer(2 * channels),
+      groups_(num_groups),
       channels_(channels),
-      eps_(eps),
-      params_(2 * channels, 0.0f),
-      grads_(2 * channels, 0.0f) {
+      eps_(eps) {
   if (num_groups == 0 || channels % num_groups != 0) {
     throw std::invalid_argument(
         "GroupNorm: channels must be divisible by num_groups");
@@ -140,10 +139,6 @@ void GroupNorm::backward(const Tensor& input, const Tensor& grad_output,
       }
     }
   }
-}
-
-void GroupNorm::zero_grad() {
-  std::fill(grads_.begin(), grads_.end(), 0.0f);
 }
 
 std::unique_ptr<Layer> GroupNorm::clone() const {

@@ -13,7 +13,7 @@
 
 namespace skiptrain::nn {
 
-class GroupNorm final : public Layer {
+class GroupNorm final : public ParamLayer {
  public:
   /// `channels` must be divisible by `num_groups`.
   GroupNorm(std::size_t num_groups, std::size_t channels, float eps = 1e-5f);
@@ -24,19 +24,13 @@ class GroupNorm final : public Layer {
   void backward(const Tensor& input, const Tensor& grad_output,
                 Tensor& grad_input) override;
 
-  std::span<float> parameters() override { return params_; }
-  std::span<const float> parameters() const override { return params_; }
-  std::span<float> gradients() override { return grads_; }
-  void zero_grad() override;
-
   std::unique_ptr<Layer> clone() const override;
 
  private:
   std::size_t groups_;
   std::size_t channels_;
   float eps_;
-  std::vector<float> params_;  // gamma[C] then beta[C]
-  std::vector<float> grads_;
+  // ParamLayer::params_ holds gamma[C] then beta[C].
   // Cached statistics from the last forward (per batch x group).
   std::vector<float> mean_;
   std::vector<float> inv_std_;

@@ -2,19 +2,28 @@
 //
 // Design notes
 // ------------
-// * Parameters and their gradients live in two flat float vectors per layer
-//   (weights first, then bias). This makes the decentralized-learning
-//   aggregation step — averaging whole models — a single contiguous vector
-//   operation, exactly the view D-PSGD/SkipTrain need.
+// * Parameters live in one flat float block per layer (weights first, then
+//   bias), exposed as a span. The block is VIEWED, not necessarily owned:
+//   a freshly constructed layer owns its storage, but a Sequential rebinds
+//   every layer into one contiguous arena — its own by default, or an
+//   externally owned plane row (plane::ParameterPlane) when a simulation
+//   engine hosts thousands of model replicas. This makes whole-model
+//   aggregation a zero-copy operation on contiguous memory, exactly the
+//   view D-PSGD/SkipTrain need.
+// * Gradients stay layer-owned: they are private scratch of the backward
+//   pass and never travel between nodes.
 // * Layers are stateless across samples except for cached forward artifacts
 //   needed by backward (e.g. max-pool argmax masks). Each simulated node
 //   owns its private model clone, so no cross-thread sharing occurs.
 // * Batch dimension is always tensor dim 0.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 
@@ -22,6 +31,73 @@ namespace skiptrain::nn {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+/// Flat parameter block of a layer: a span view over storage that is either
+/// layer-owned (standalone use, fresh clones) or part of an external arena
+/// (a Sequential's contiguous arena or a plane row). Copying a ParamStorage
+/// copies the *values* into fresh self-owned storage — exactly the
+/// semantics clone() wants.
+class ParamStorage {
+ public:
+  ParamStorage() = default;
+  explicit ParamStorage(std::size_t count)
+      : owned_(count, 0.0f), view_(owned_) {}
+
+  ParamStorage(const ParamStorage& other)
+      : owned_(other.view_.begin(), other.view_.end()), view_(owned_) {}
+  ParamStorage& operator=(const ParamStorage& other) {
+    if (this != &other) {
+      owned_.assign(other.view_.begin(), other.view_.end());
+      view_ = owned_;
+    }
+    return *this;
+  }
+  // Layers live behind unique_ptr and never move; keep the view/ownership
+  // invariant simple by forbidding moves.
+  ParamStorage(ParamStorage&&) = delete;
+  ParamStorage& operator=(ParamStorage&&) = delete;
+
+  std::size_t size() const { return view_.size(); }
+  std::span<float> view() { return view_; }
+  std::span<const float> view() const { return view_; }
+  float* data() { return view_.data(); }
+  const float* data() const { return view_.data(); }
+  float& operator[](std::size_t i) { return view_[i]; }
+  float operator[](std::size_t i) const { return view_[i]; }
+
+  /// Migrates the block into `storage`: copies the current values over and
+  /// repoints the view. Invalidates previously returned spans.
+  void bind(std::span<float> storage) {
+    check_size(storage);
+    if (storage.data() != view_.data()) {
+      std::copy(view_.begin(), view_.end(), storage.begin());
+    }
+    view_ = storage;
+    release_owned();
+  }
+
+  /// Repoints the view WITHOUT copying: `storage` must already hold this
+  /// block's values (e.g. the freshly aggregated plane row).
+  void attach(std::span<float> storage) {
+    check_size(storage);
+    view_ = storage;
+    release_owned();
+  }
+
+ private:
+  void check_size(std::span<float> storage) const {
+    if (storage.size() != view_.size()) {
+      throw std::invalid_argument("ParamStorage: storage size mismatch");
+    }
+  }
+  void release_owned() {
+    owned_.clear();
+    owned_.shrink_to_fit();
+  }
+
+  std::vector<float> owned_;  // empty once bound to an external arena
+  std::span<float> view_;
+};
 
 class Layer {
  public:
@@ -48,10 +124,63 @@ class Layer {
   virtual std::span<const float> parameters() const { return {}; }
   virtual std::span<float> gradients() { return {}; }
 
+  /// Number of learnable parameters (== parameters().size()).
+  virtual std::size_t parameter_count() const { return 0; }
+
+  /// Migrates parameter storage into `storage` (size parameter_count()),
+  /// copying the current values. Spans previously returned by parameters()
+  /// are invalidated. Parameter-free layers accept only an empty span.
+  virtual void bind_parameters(std::span<float> storage) {
+    require_empty(storage);
+  }
+
+  /// Repoints parameter storage WITHOUT copying: `storage` must already
+  /// hold this layer's parameters (caller-managed arena contents).
+  virtual void attach_parameters(std::span<float> storage) {
+    require_empty(storage);
+  }
+
   virtual void zero_grad() {}
 
-  /// Deep copy (used to instantiate one model per simulated node).
+  /// Deep copy (used to instantiate one model per simulated node). The
+  /// copy always owns its parameter storage, regardless of how the source
+  /// was bound.
   virtual std::unique_ptr<Layer> clone() const = 0;
+
+ private:
+  static void require_empty(std::span<float> storage) {
+    if (!storage.empty()) {
+      throw std::invalid_argument(
+          "Layer::bind_parameters: layer has no parameters");
+    }
+  }
+};
+
+/// Base for layers whose parameters live in one flat ParamStorage block
+/// with same-sized layer-owned gradients; implements the storage plumbing
+/// (views, counts, bind/attach, zero_grad) once.
+class ParamLayer : public Layer {
+ public:
+  std::span<float> parameters() override { return params_.view(); }
+  std::span<const float> parameters() const override { return params_.view(); }
+  std::span<float> gradients() override { return grads_; }
+  std::size_t parameter_count() const override { return params_.size(); }
+  void bind_parameters(std::span<float> storage) override {
+    params_.bind(storage);
+  }
+  void attach_parameters(std::span<float> storage) override {
+    params_.attach(storage);
+  }
+  void zero_grad() override {
+    std::fill(grads_.begin(), grads_.end(), 0.0f);
+  }
+
+ protected:
+  explicit ParamLayer(std::size_t count)
+      : params_(count), grads_(count, 0.0f) {}
+
+  ParamStorage params_;
+  std::vector<float> grads_;
 };
 
 }  // namespace skiptrain::nn

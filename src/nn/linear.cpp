@@ -7,10 +7,9 @@
 namespace skiptrain::nn {
 
 Linear::Linear(std::size_t in_features, std::size_t out_features)
-    : in_(in_features),
-      out_(out_features),
-      params_(in_features * out_features + out_features, 0.0f),
-      grads_(params_.size(), 0.0f) {}
+    : ParamLayer(in_features * out_features + out_features),
+      in_(in_features),
+      out_(out_features) {}
 
 std::string Linear::name() const {
   return "Linear(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
@@ -54,10 +53,6 @@ void Linear::backward(const Tensor& input, const Tensor& grad_output,
   }
   // dX[B, in] = dY[B, out] * W[out, in]
   tensor::gemm_nn(batch, out_, in_, grad_output.data(), w, grad_input.data());
-}
-
-void Linear::zero_grad() {
-  std::fill(grads_.begin(), grads_.end(), 0.0f);
 }
 
 std::unique_ptr<Layer> Linear::clone() const {

@@ -7,7 +7,7 @@
 
 namespace skiptrain::nn {
 
-class Linear final : public Layer {
+class Linear final : public ParamLayer {
  public:
   Linear(std::size_t in_features, std::size_t out_features);
 
@@ -16,11 +16,6 @@ class Linear final : public Layer {
   void forward(const Tensor& input, Tensor& output) override;
   void backward(const Tensor& input, const Tensor& grad_output,
                 Tensor& grad_input) override;
-
-  std::span<float> parameters() override { return params_; }
-  std::span<const float> parameters() const override { return params_; }
-  std::span<float> gradients() override { return grads_; }
-  void zero_grad() override;
 
   std::unique_ptr<Layer> clone() const override;
 
@@ -34,8 +29,7 @@ class Linear final : public Layer {
  private:
   std::size_t in_;
   std::size_t out_;
-  std::vector<float> params_;  // W (out*in) then b (out)
-  std::vector<float> grads_;
+  // ParamLayer::params_ holds W (out*in) then b (out).
 };
 
 }  // namespace skiptrain::nn

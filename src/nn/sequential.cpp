@@ -8,9 +8,86 @@
 
 namespace skiptrain::nn {
 
-Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
-  layers_.push_back(std::move(layer));
+Sequential::Sequential(Sequential&& other) noexcept
+    : layers_(std::move(other.layers_)),
+      activations_(std::move(other.activations_)),
+      owned_arena_(std::move(other.owned_arena_)),
+      arena_(other.arena_),
+      external_arena_(other.external_arena_) {
+  other.arena_ = {};
+  other.external_arena_ = false;
+}
+
+Sequential& Sequential::operator=(Sequential&& other) noexcept {
+  if (this != &other) {
+    layers_ = std::move(other.layers_);
+    activations_ = std::move(other.activations_);
+    owned_arena_ = std::move(other.owned_arena_);
+    arena_ = other.arena_;
+    external_arena_ = other.external_arena_;
+    other.arena_ = {};
+    other.external_arena_ = false;
+  }
   return *this;
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  if (external_arena_) {
+    throw std::logic_error(
+        "Sequential::add: model is bound to an external arena");
+  }
+  layers_.push_back(std::move(layer));
+  relayout_owned_arena();
+  return *this;
+}
+
+void Sequential::relayout_owned_arena() {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer->parameter_count();
+  // Migrate values layer by layer; the old arena (layer-owned storage or
+  // the previous owned_arena_) stays alive until after the loop.
+  std::vector<float> fresh(total);
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    const std::size_t count = layer->parameter_count();
+    layer->bind_parameters(std::span<float>(fresh).subspan(offset, count));
+    offset += count;
+  }
+  owned_arena_ = std::move(fresh);
+  arena_ = owned_arena_;
+  external_arena_ = false;
+}
+
+void Sequential::bind_parameter_arena(std::span<float> arena) {
+  if (arena.size() != num_parameters()) {
+    throw std::invalid_argument("bind_parameter_arena: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    const std::size_t count = layer->parameter_count();
+    layer->bind_parameters(arena.subspan(offset, count));
+    offset += count;
+  }
+  arena_ = arena;
+  external_arena_ = true;
+  owned_arena_.clear();
+  owned_arena_.shrink_to_fit();
+}
+
+void Sequential::attach_parameter_arena(std::span<float> arena) {
+  if (arena.size() != num_parameters()) {
+    throw std::invalid_argument("attach_parameter_arena: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    const std::size_t count = layer->parameter_count();
+    layer->attach_parameters(arena.subspan(offset, count));
+    offset += count;
+  }
+  arena_ = arena;
+  external_arena_ = true;
+  owned_arena_.clear();
+  owned_arena_.shrink_to_fit();
 }
 
 const Tensor& Sequential::forward(const Tensor& input) {
@@ -50,37 +127,18 @@ void Sequential::zero_grad() {
   for (auto& layer : layers_) layer->zero_grad();
 }
 
-std::size_t Sequential::num_parameters() const {
-  std::size_t total = 0;
-  for (const auto& layer : layers_) total += layer->parameters().size();
-  return total;
-}
-
 void Sequential::get_parameters(std::span<float> out) const {
   assert(out.size() == num_parameters());
-  std::size_t offset = 0;
-  for (const auto& layer : layers_) {
-    const auto params = layer->parameters();
-    std::copy(params.begin(), params.end(), out.begin() + offset);
-    offset += params.size();
-  }
+  std::copy(arena_.begin(), arena_.end(), out.begin());
 }
 
 void Sequential::set_parameters(std::span<const float> in) {
   assert(in.size() == num_parameters());
-  std::size_t offset = 0;
-  for (auto& layer : layers_) {
-    auto params = layer->parameters();
-    std::copy(in.begin() + offset, in.begin() + offset + params.size(),
-              params.begin());
-    offset += params.size();
-  }
+  std::copy(in.begin(), in.end(), arena_.begin());
 }
 
 std::vector<float> Sequential::parameters_flat() const {
-  std::vector<float> flat(num_parameters());
-  get_parameters(flat);
-  return flat;
+  return std::vector<float>(arena_.begin(), arena_.end());
 }
 
 void Sequential::get_gradients(std::span<float> out) const {
@@ -95,14 +153,7 @@ void Sequential::get_gradients(std::span<float> out) const {
 
 void Sequential::apply_parameter_delta(std::span<const float> delta) {
   assert(delta.size() == num_parameters());
-  std::size_t offset = 0;
-  for (auto& layer : layers_) {
-    auto params = layer->parameters();
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      params[i] -= delta[offset + i];
-    }
-    offset += params.size();
-  }
+  for (std::size_t i = 0; i < arena_.size(); ++i) arena_[i] -= delta[i];
 }
 
 std::vector<std::span<float>> Sequential::parameter_spans() {
@@ -123,7 +174,8 @@ std::vector<std::span<float>> Sequential::gradient_spans() {
 
 Sequential Sequential::clone() const {
   Sequential copy;
-  for (const auto& layer : layers_) copy.add(layer->clone());
+  for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+  copy.relayout_owned_arena();
   return copy;
 }
 

@@ -1,9 +1,21 @@
 // Sequential container = the "model" type of this library. Owns layers and
-// the activation buffers needed for backprop, and exposes the whole-model
-// flat parameter view used by decentralized averaging.
+// the activation buffers needed for backprop, and keeps ALL parameters in
+// one contiguous flat arena (layer order, weights-then-bias within a
+// layer). The arena is self-owned by default, so standalone models behave
+// exactly like value types; a simulation engine can rebind the model into
+// an externally owned arena (a plane::ParameterPlane row) to make
+// whole-fleet aggregation a zero-copy contiguous operation.
+//
+// Layer-view contract: layers VIEW spans of the arena instead of owning
+// storage. add(), clone() into a new object, bind_parameter_arena() and
+// attach_parameter_arena() re-lay the arena and therefore invalidate every
+// span previously obtained from parameters()/parameter_spans()/weights().
+// Spans stay valid across forward/backward/optimizer steps and across
+// moves of the Sequential itself.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -14,13 +26,15 @@ class Sequential {
  public:
   Sequential() = default;
 
-  // Movable, non-copyable (use clone() for explicit deep copies).
-  Sequential(Sequential&&) = default;
-  Sequential& operator=(Sequential&&) = default;
+  // Movable, non-copyable (use clone() for explicit deep copies). Moves
+  // keep layer spans valid: the arena's heap buffer travels with it.
+  Sequential(Sequential&& other) noexcept;
+  Sequential& operator=(Sequential&& other) noexcept;
   Sequential(const Sequential&) = delete;
   Sequential& operator=(const Sequential&) = delete;
 
-  /// Appends a layer; returns *this for chaining.
+  /// Appends a layer; returns *this for chaining. Re-lays the self-owned
+  /// arena (throws std::logic_error if bound to an external arena).
   Sequential& add(std::unique_ptr<Layer> layer);
 
   /// Convenience: constructs a layer in place.
@@ -43,11 +57,31 @@ class Sequential {
 
   void zero_grad();
 
-  /// Total parameter count across layers.
-  std::size_t num_parameters() const;
+  /// Total parameter count across layers (== parameter_arena().size()).
+  std::size_t num_parameters() const { return arena_.size(); }
+
+  /// The contiguous flat storage every parameter lives in. Zero-copy view
+  /// of the whole model; invalidated by add/bind/attach (see the
+  /// layer-view contract above).
+  std::span<float> parameter_arena() { return arena_; }
+  std::span<const float> parameter_arena() const { return arena_; }
+
+  /// True while the arena is self-owned (not an external plane row).
+  bool owns_parameter_arena() const { return !external_arena_; }
+
+  /// Migrates every layer's parameters into `arena` (contiguous, layer
+  /// order), copying the current values. `arena` must outlive the model
+  /// (or the next bind/attach). Size must equal num_parameters().
+  void bind_parameter_arena(std::span<float> arena);
+
+  /// Repoints the layers into `arena` WITHOUT copying: the caller
+  /// guarantees `arena` already holds this model's parameters in layout
+  /// order (e.g. the freshly aggregated plane row after a buffer flip).
+  void attach_parameter_arena(std::span<float> arena);
 
   /// Copies all parameters into / from one flat contiguous vector, ordered
-  /// by layer. This is the model representation exchanged between nodes.
+  /// by layer. This is the model representation exchanged between nodes
+  /// when a caller wants an owned snapshot; engines use the arena views.
   void get_parameters(std::span<float> out) const;
   void set_parameters(std::span<const float> in);
   std::vector<float> parameters_flat() const;
@@ -63,15 +97,22 @@ class Sequential {
   std::vector<std::span<float>> parameter_spans();
   std::vector<std::span<float>> gradient_spans();
 
-  /// Deep copy of layers and parameters.
+  /// Deep copy of layers and parameters. The copy owns its arena.
   [[nodiscard]] Sequential clone() const;
 
   /// Human-readable architecture summary, one layer per line.
   [[nodiscard]] std::string summary() const;
 
  private:
+  /// Rebuilds the self-owned arena from the current layer list, migrating
+  /// every layer's values into it.
+  void relayout_owned_arena();
+
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<Tensor> activations_;  // activations_[i] = output of layer i
+  std::vector<float> owned_arena_;   // empty when bound externally
+  std::span<float> arena_;           // where the parameters actually live
+  bool external_arena_ = false;
 };
 
 }  // namespace skiptrain::nn

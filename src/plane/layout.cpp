@@ -1,0 +1,33 @@
+#include "plane/layout.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace skiptrain::plane {
+
+ParameterLayout ParameterLayout::of(const nn::Sequential& model) {
+  ParameterLayout layout;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    const std::size_t extent = model.layer(i).parameter_count();
+    if (extent != 0) {
+      layout.blocks_.push_back(Block{i, offset, extent});
+    }
+    offset += extent;
+  }
+  layout.dim_ = offset;
+  return layout;
+}
+
+const ParameterLayout::Block& ParameterLayout::block_of_layer(
+    std::size_t layer) const {
+  for (const Block& block : blocks_) {
+    if (block.layer == layer) return block;
+  }
+  throw std::out_of_range("ParameterLayout: layer " + std::to_string(layer) +
+                          " has no parameter block");
+}
+
+}  // namespace skiptrain::plane

@@ -1,0 +1,32 @@
+#include "plane/plane.hpp"
+
+#include <stdexcept>
+
+#include "core/compression.hpp"
+#include "graph/mixing.hpp"
+
+namespace skiptrain::plane {
+
+void gather_masked_rows(ConstMatrixView source,
+                        std::span<const std::uint32_t> mask,
+                        MatrixView staged) {
+  if (staged.rows != source.rows || staged.dim != mask.size()) {
+    throw std::invalid_argument("gather_masked_rows: shape mismatch");
+  }
+  for (std::size_t i = 0; i < source.rows; ++i) {
+    core::gather_masked(mask, source.row(i), staged.row(i));
+  }
+}
+
+void apply_mixing(const graph::MixingMatrix& mixing, ParameterPlane& plane,
+                  std::size_t block_floats) {
+  if (mixing.num_nodes() != plane.nodes()) {
+    throw std::invalid_argument("plane::apply_mixing: node count mismatch");
+  }
+  graph::apply_mixing_blocked(mixing, plane.current().view().flat(),
+                              plane.back().view().flat(), plane.dim(),
+                              block_floats);
+  plane.flip();
+}
+
+}  // namespace skiptrain::plane

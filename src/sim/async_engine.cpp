@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "tensor/ops.hpp"
+
 namespace skiptrain::sim {
 
 AsyncGossipEngine::AsyncGossipEngine(const nn::Sequential& prototype,
@@ -31,21 +33,22 @@ AsyncGossipEngine::AsyncGossipEngine(const nn::Sequential& prototype,
   }
 
   const nn::SgdOptions sgd{config_.learning_rate, 0.0f, 0.0f};
+  const std::size_t dim = prototype.num_parameters();
+  models_ = plane::RowArena(n, dim);
+  outbox_ = plane::RowArena(n, dim);
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, prototype, data.node_view(i),
                                             sgd, config_.seed));
+    // The model trains and merges directly in its plane row.
+    nodes_[i]->model().bind_parameter_arena(models_.row(i));
   }
   local_round_.assign(n, 0);
 
-  const std::size_t dim = prototype.num_parameters();
-  mailbox_.resize(n);
   fresh_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    mailbox_[i].assign(topology_.degree(i), std::vector<float>(dim));
     fresh_[i].assign(topology_.degree(i), 0);
   }
-  scratch_.resize(dim);
 
   // Stagger first activations slightly by node id so identical-speed nodes
   // do not activate in lockstep (ε of their period).
@@ -84,30 +87,31 @@ void AsyncGossipEngine::activate(std::size_t node) {
     ++trainings_;
   }
 
-  // 3. Merge fresh neighbor models: uniform average over self + fresh.
-  nn::Sequential& model = nodes_[node]->model();
-  model.get_parameters(scratch_);
+  // 3. Merge fresh neighbor models: uniform average over self + fresh,
+  // computed in place on this node's plane row. A fresh delivery is read
+  // straight from the sender's outbox row — no per-edge copies exist.
+  const auto mine = models_.row(node);
   std::size_t contributors = 1;
-  auto& slots = mailbox_[node];
+  const auto& neighbors = topology_.neighbors(node);
   auto& fresh = fresh_[node];
-  for (std::size_t s = 0; s < slots.size(); ++s) {
+  for (std::size_t s = 0; s < neighbors.size(); ++s) {
     if (!fresh[s]) continue;
-    const auto& theirs = slots[s];
-    for (std::size_t k = 0; k < scratch_.size(); ++k) {
-      scratch_[k] += theirs[k];
+    const auto theirs = outbox_.row(neighbors[s]);
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      mine[k] += theirs[k];
     }
     fresh[s] = 0;
     ++contributors;
   }
   if (contributors > 1) {
     const float inv = 1.0f / static_cast<float>(contributors);
-    for (auto& v : scratch_) v *= inv;
+    tensor::scale(mine, inv);
   }
-  model.set_parameters(scratch_);
 
-  // 4. Push the merged model to every neighbor's mailbox.
+  // 4. Push the merged model: ONE copy into this node's outbox row, then
+  // flag the delivery at every neighbor (they read the row on merge).
   accountant_.record_exchange(node);
-  const auto& neighbors = topology_.neighbors(node);
+  tensor::copy(mine, outbox_.row(node));
   for (const std::size_t peer : neighbors) {
     // Find this node's slot at the peer (neighbor lists are sorted).
     const auto& peer_neighbors = topology_.neighbors(peer);
@@ -115,7 +119,6 @@ void AsyncGossipEngine::activate(std::size_t node) {
                                      peer_neighbors.end(), node);
     const auto slot =
         static_cast<std::size_t>(it - peer_neighbors.begin());
-    mailbox_[peer][slot] = scratch_;
     fresh_[peer][slot] = 1;
   }
 

@@ -29,6 +29,7 @@
 #include "energy/accountant.hpp"
 #include "graph/topology.hpp"
 #include "nn/sequential.hpp"
+#include "plane/plane.hpp"
 #include "sim/node.hpp"
 
 namespace skiptrain::sim {
@@ -89,17 +90,22 @@ class AsyncGossipEngine {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::size_t> local_round_;
 
-  // mailbox_[receiver][slot] = freshest params from that neighbor;
-  // fresh_[receiver][slot] marks unconsumed deliveries. Slot order matches
-  // topology_.neighbors(receiver).
-  std::vector<std::vector<std::vector<float>>> mailbox_;
+  // Node models live as rows of models_ (zero-copy merge/train); outbox_
+  // is the compact staging pool — ONE row per sender holding its most
+  // recently pushed model. A push is therefore a single row copy, and a
+  // receiver's mailbox entry is just the sender's plane row index plus a
+  // freshness flag: fresh_[receiver][slot] (slot order matches
+  // topology_.neighbors(receiver)) marks unconsumed deliveries. This
+  // replaces the former per-edge n·deg·dim mailbox copies with n·dim
+  // staging storage.
+  plane::RowArena models_;
+  plane::RowArena outbox_;
   std::vector<std::vector<char>> fresh_;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   double now_ = 0.0;
   std::size_t activations_ = 0;
   std::size_t trainings_ = 0;
-  std::vector<float> scratch_;
 };
 
 }  // namespace skiptrain::sim

@@ -1,5 +1,7 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/thread_pool.hpp"
@@ -15,7 +17,10 @@ RoundEngine::RoundEngine(const nn::Sequential& prototype,
     : mixing_(mixing),
       scheduler_(scheduler),
       accountant_(std::move(accountant)),
-      config_(config) {
+      config_(config),
+      plane_(data.num_nodes(), prototype.num_parameters()),
+      staged_(data.num_nodes(),
+              std::min(config.sparse_exchange_k, prototype.num_parameters())) {
   const std::size_t n = data.num_nodes();
   if (mixing_.num_nodes() != n) {
     throw std::invalid_argument("RoundEngine: mixing matrix size != nodes");
@@ -29,20 +34,12 @@ RoundEngine::RoundEngine(const nn::Sequential& prototype,
   for (std::size_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, prototype, data.node_view(i),
                                             sgd, config_.seed));
+    // Migrate the clone's parameters onto its plane row: from here on the
+    // model trains directly in plane storage.
+    nodes_[i]->model().bind_parameter_arena(plane_.current().row(i));
   }
-
-  const std::size_t dim = prototype.num_parameters();
-  params_half_.assign(n, std::vector<float>(dim));
-  params_current_.assign(n, std::vector<float>(dim));
   train_flags_.assign(n, 0);
   local_losses_.assign(n, 0.0);
-  refresh_current_parameters();
-}
-
-void RoundEngine::refresh_current_parameters() {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    nodes_[i]->model().get_parameters(params_current_[i]);
-  }
 }
 
 RoundEngine::RoundOutcome RoundEngine::run_round() {
@@ -52,15 +49,16 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
   // Phase 1 — decide + account (serial: the accountant is not locked).
   // Masked exchanges scale the billed model size by the wire fraction
   // k/dim (the mask is seed-derived, so only values travel).
-  const std::size_t dim =
-      params_half_.empty() ? 0 : params_half_.front().size();
+  const std::size_t dim = plane_.dim();
   std::size_t wire_params = accountant_.model_params();
   if (config_.sparse_exchange_k != 0 && dim > 0) {
     const double fraction =
         static_cast<double>(std::min(config_.sparse_exchange_k, dim)) /
         static_cast<double>(dim);
+    // llround, not a truncating cast: flooring would bill k=1 exchanges of
+    // a small model at zero wire volume.
     wire_params = static_cast<std::size_t>(
-        fraction * static_cast<double>(wire_params));
+        std::llround(fraction * static_cast<double>(wire_params)));
   }
   RoundOutcome outcome;
   outcome.kind = scheduler_.round_kind(t);
@@ -80,47 +78,44 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
     }
   }
 
-  // Phase 2 — local training, parallel over nodes. Writes x^{t-1/2}.
+  // Phase 2 — local training, parallel over nodes. Models view their
+  // plane rows, so this writes x^{t-1/2} into current() in place;
+  // non-training rows already hold x^{t-1}.
   util::parallel_for(0, n, [&](std::size_t i) {
     if (train_flags_[i]) {
       local_losses_[i] =
           nodes_[i]->train_local(config_.local_steps, config_.batch_size);
     }
-    nodes_[i]->model().get_parameters(params_half_[i]);
   });
 
-  // Phase 3+4 — exchange & aggregate. Reads touch only params_half_,
-  // writes only params_current_.
+  // Phase 3+4 — exchange & aggregate.
   if (config_.sparse_exchange_k == 0) {
-    // Dense: x_i^t = Σ_j W_ji x_j^{t-1/2}.
-    util::parallel_for(0, n, [&](std::size_t i) {
-      auto& out = params_current_[i];
-      const auto& mine = params_half_[i];
-      const float self_w = mixing_.self_weight(i);
-      for (std::size_t k = 0; k < out.size(); ++k) out[k] = self_w * mine[k];
-      for (const auto& entry : mixing_.neighbor_weights(i)) {
-        const auto& theirs = params_half_[entry.neighbor];
-        const float w = entry.weight;
-        for (std::size_t k = 0; k < out.size(); ++k) out[k] += w * theirs[k];
-      }
-      nodes_[i]->model().set_parameters(out);
-    });
+    // Dense: one blocked kernel current() → back(), then flip; reads touch
+    // only x^{t-1/2}, writes only x^t.
+    plane::apply_mixing(mixing_, plane_);
+    // The flip moved x^t to the other buffer; repoint every model's layer
+    // views at its new row (pointer swap, no copies).
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_[i]->model().attach_parameter_arena(plane_.current().row(i));
+    }
   } else {
     // Sparse: all nodes exchange the same k random coordinates this round
     // (mask derived from the shared seed). Since W rows sum to 1:
     //   x_i^t = x_i^{t-1/2} + Σ_j W_ij Σ_{c ∈ mask_t} (x_j[c] - x_i[c]) e_c.
+    // Stage the masked coordinates of every row, then update rows in place
+    // — only k coordinates per node change, so no dense copy is needed.
     round_mask_ = core::shared_round_mask(config_.seed, t, dim,
                                           config_.sparse_exchange_k);
+    plane::gather_masked_rows(plane_.current().view(), round_mask_,
+                              staged_.view());
     util::parallel_for(0, n, [&](std::size_t i) {
-      auto& out = params_current_[i];
-      const auto& mine = params_half_[i];
-      std::copy(mine.begin(), mine.end(), out.begin());
+      const auto row = plane_.current().row(i);
+      const auto mine_staged = staged_.row(i);
       for (const auto& entry : mixing_.neighbor_weights(i)) {
-        core::accumulate_masked_difference(
-            round_mask_, params_half_[entry.neighbor], mine, out,
-            entry.weight);
+        core::accumulate_staged_difference(round_mask_,
+                                           staged_.row(entry.neighbor),
+                                           mine_staged, row, entry.weight);
       }
-      nodes_[i]->model().set_parameters(out);
     });
   }
 

@@ -9,12 +9,22 @@
 //   2. train    — selected nodes run E local SGD steps in parallel,
 //                 producing x_i^{t-1/2}; non-training nodes keep x_i^{t-1};
 //   3. exchange — every node shares x^{t-1/2} with its neighbors
-//                 (modelled as reading the peer's snapshot buffer);
+//                 (modelled as reading the peer's plane row);
 //   4. aggregate— x_i^t = Σ_j W_ji x_j^{t-1/2}, double-buffered so reads
 //                 and writes never alias.
 //
-// Determinism: per-node RNG streams + counter-based scheduler draws make
-// the result independent of worker-thread interleaving.
+// Storage: all n models live as rows of one contiguous ParameterPlane and
+// each node's nn::Sequential views its row directly, so training writes
+// x^{t-1/2} in place and the aggregate phase is a single blocked
+// plane-to-plane kernel (plane::apply_mixing) — no get_parameters /
+// set_parameters copies anywhere in the per-round path. The sparse
+// (masked) exchange instead stages the k masked coordinates of every row
+// into a compact pool and updates rows in place, reading only staged
+// pre-update values.
+//
+// Determinism: per-node RNG streams + counter-based scheduler draws +
+// column-block-owned aggregation make the result independent of
+// worker-thread interleaving.
 #pragma once
 
 #include <memory>
@@ -26,6 +36,7 @@
 #include "energy/accountant.hpp"
 #include "graph/mixing.hpp"
 #include "nn/sequential.hpp"
+#include "plane/plane.hpp"
 #include "sim/node.hpp"
 
 namespace skiptrain::sim {
@@ -47,7 +58,8 @@ struct EngineConfig {
 class RoundEngine {
  public:
   /// All reference parameters must outlive the engine. `prototype`
-  /// supplies the shared initial model x⁰ (cloned per node).
+  /// supplies the shared initial model x⁰ (cloned per node, then bound
+  /// onto this engine's parameter plane).
   RoundEngine(const nn::Sequential& prototype, const data::FederatedData& data,
               const graph::MixingMatrix& mixing,
               const core::RoundScheduler& scheduler,
@@ -71,28 +83,32 @@ class RoundEngine {
   nn::Sequential& model(std::size_t node) { return nodes_[node]->model(); }
   std::span<std::unique_ptr<Node>> nodes() { return nodes_; }
 
-  /// Snapshot of every node's current parameters x_i^t.
-  const std::vector<std::vector<float>>& node_parameters() const {
-    return params_current_;
+  /// Zero-copy view of every node's current parameters x_i^t: row i of the
+  /// plane IS node i's model storage. Row spans are invalidated by the
+  /// buffer flip inside the next dense run_round().
+  plane::ConstMatrixView node_parameters() const {
+    return plane_.current().view();
   }
+
+  const plane::ParameterPlane& parameter_plane() const { return plane_; }
 
   const energy::EnergyAccountant& accountant() const { return accountant_; }
   const core::RoundScheduler& scheduler() const { return scheduler_; }
 
  private:
-  void refresh_current_parameters();
-
   const graph::MixingMatrix& mixing_;
   const core::RoundScheduler& scheduler_;
   energy::EnergyAccountant accountant_;
   EngineConfig config_;
 
+  // Double-buffered [n × dim] model storage; models view current() rows.
+  plane::ParameterPlane plane_;
+  // Compact [n × k] staging pool for the masked sparse exchange.
+  plane::RowArena staged_;
+
   std::vector<std::unique_ptr<Node>> nodes_;
   std::size_t round_ = 0;
 
-  // Double buffers: params_half_[i] = x_i^{t-1/2}, params_current_[i] = x_i^t.
-  std::vector<std::vector<float>> params_half_;
-  std::vector<std::vector<float>> params_current_;
   std::vector<std::uint32_t> round_mask_;  // sparse_exchange_k mode
   std::vector<char> train_flags_;
   std::vector<double> local_losses_;

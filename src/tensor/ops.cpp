@@ -18,6 +18,42 @@ void scale(std::span<float> x, float alpha) {
   for (auto& v : x) v *= alpha;
 }
 
+void scaled_copy(float alpha, std::span<const float> src,
+                 std::span<float> dst) {
+  assert(src.size() == dst.size());
+  const float* __restrict__ s = src.data();
+  float* __restrict__ d = dst.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] = alpha * s[i];
+}
+
+void axpy2(float a1, std::span<const float> x1, float a2,
+           std::span<const float> x2, std::span<float> y) {
+  assert(x1.size() == y.size() && x2.size() == y.size());
+  const float* __restrict__ s1 = x1.data();
+  const float* __restrict__ s2 = x2.data();
+  float* __restrict__ ys = y.data();
+  const std::size_t n = y.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ys[i] = (ys[i] + a1 * s1[i]) + a2 * s2[i];
+  }
+}
+
+void weighted_sum3(float a0, std::span<const float> x0, float a1,
+                   std::span<const float> x1, float a2,
+                   std::span<const float> x2, std::span<float> y) {
+  assert(x0.size() == y.size() && x1.size() == y.size() &&
+         x2.size() == y.size());
+  const float* __restrict__ s0 = x0.data();
+  const float* __restrict__ s1 = x1.data();
+  const float* __restrict__ s2 = x2.data();
+  float* __restrict__ ys = y.data();
+  const std::size_t n = y.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ys[i] = ((a0 * s0[i]) + a1 * s1[i]) + a2 * s2[i];
+  }
+}
+
 void copy(std::span<const float> src, std::span<float> dst) {
   assert(src.size() == dst.size());
   std::copy(src.begin(), src.end(), dst.begin());
@@ -78,14 +114,26 @@ void gemm_nt(std::size_t m, std::size_t k, std::size_t n,
              std::span<float> c, float beta) {
   assert(a.size() >= m * k && b.size() >= n * k && c.size() >= m * n);
   // C[i,j] = <A_row_i, B_row_j>: both operands stream contiguously.
+  // BLAS semantics: C must not be read when beta == 0 — it may be
+  // uninitialized or NaN-poisoned, and NaN * 0 is NaN, so the scale-by-beta
+  // form is hoisted into an explicit branch.
   for (std::size_t i = 0; i < m; ++i) {
     const float* __restrict__ ai = a.data() + i * k;
     float* __restrict__ ci = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* __restrict__ bj = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-      ci[j] = beta * (beta == 0.0f ? 0.0f : ci[j]) + acc;
+    if (beta == 0.0f) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* __restrict__ bj = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] = acc;
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* __restrict__ bj = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] = beta * ci[j] + acc;
+      }
     }
   }
 }

@@ -2,6 +2,7 @@
 // determinism, and energy bookkeeping.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "core/scheduler.hpp"
@@ -71,7 +72,17 @@ struct Fixture {
   }
 };
 
-/// Mean parameter vector across nodes.
+/// Mean parameter vector across nodes (plane rows or owned vectors).
+std::vector<double> global_mean(plane::ConstMatrixView params) {
+  std::vector<double> mean(params.dim, 0.0);
+  for (std::size_t r = 0; r < params.rows; ++r) {
+    const auto p = params.row(r);
+    for (std::size_t i = 0; i < p.size(); ++i) mean[i] += p[i];
+  }
+  for (auto& v : mean) v /= static_cast<double>(params.rows);
+  return mean;
+}
+
 std::vector<double> global_mean(const std::vector<std::vector<float>>& params) {
   std::vector<double> mean(params.front().size(), 0.0);
   for (const auto& p : params) {
@@ -175,7 +186,9 @@ TEST(Engine, DeterministicAcrossRuns) {
   engine_b.run_rounds(6);
 
   for (std::size_t i = 0; i < engine_a.num_nodes(); ++i) {
-    EXPECT_EQ(engine_a.node_parameters()[i], engine_b.node_parameters()[i])
+    const auto a = engine_a.node_parameters()[i];
+    const auto b = engine_b.node_parameters()[i];
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
         << "node " << i;
   }
 }
@@ -259,6 +272,43 @@ TEST(Engine, EnergyBookkeepingMatchesClosedForm) {
   // Communication energy is identical: sharing happens every round.
   EXPECT_NEAR(engine_skip.accountant().total_comm_wh(),
               engine.accountant().total_comm_wh(), 1e-12);
+}
+
+TEST(Engine, CompressedWireVolumeRoundsToNearest) {
+  // Regression: the k/dim wire fraction used to be floored via
+  // static_cast, so a k=1 exchange of a small model could bill 1 (or even
+  // 0) effective parameters instead of the rounded wire volume.
+  Fixture fixture(8, 4);
+  // dim = 64*10 + 10 = 650; billed size 975 -> k=1 is 1.5 params, which
+  // must round to 2, not floor to 1.
+  const nn::Sequential prototype = nn::make_softmax_regression(64, 10);
+  const std::size_t billed_params = 975;
+  std::vector<std::size_t> degrees(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    degrees[i] = fixture.topology.degree(i);
+  }
+  energy::EnergyAccountant accountant(fixture.fleet, energy::CommModel{},
+                                      billed_params, std::move(degrees));
+  const core::DpsgdScheduler scheduler;
+  EngineConfig config;
+  config.local_steps = 1;
+  config.batch_size = 4;
+  config.sparse_exchange_k = 1;
+  RoundEngine engine(prototype, fixture.data, fixture.mixing, scheduler,
+                     std::move(accountant), config);
+  engine.run_round();
+
+  const energy::CommModel comm;
+  double expected_wh = 0.0;
+  double floored_wh = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    expected_wh +=
+        comm.exchange_energy_mwh(2, fixture.topology.degree(i)) / 1000.0;
+    floored_wh +=
+        comm.exchange_energy_mwh(1, fixture.topology.degree(i)) / 1000.0;
+  }
+  EXPECT_NEAR(engine.accountant().total_comm_wh(), expected_wh, 1e-15);
+  EXPECT_GT(engine.accountant().total_comm_wh(), floored_wh * 1.5);
 }
 
 TEST(Engine, MismatchedSizesThrow) {

@@ -107,7 +107,8 @@ TEST(Evaluator, EvaluateAverageEqualsAveragedModel) {
   const EvalResult averaged = evaluator.evaluate_average(prototype, params);
   EXPECT_DOUBLE_EQ(averaged.accuracy, 0.5);
 
-  EXPECT_THROW(evaluator.evaluate_average(prototype, {}),
+  EXPECT_THROW(evaluator.evaluate_average(
+                   prototype, std::span<const std::vector<float>>{}),
                std::invalid_argument);
 }
 

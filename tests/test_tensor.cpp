@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 #include <vector>
 
@@ -161,6 +162,38 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
                       std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
                       std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9)));
+
+TEST(Gemm, BetaZeroNeverReadsC) {
+  // BLAS semantics: with beta == 0, C is write-only — an uninitialized or
+  // NaN-poisoned output buffer must not poison the result. Regression for
+  // the gemm_nt formulation that scaled a read of C by beta.
+  const std::size_t m = 3, k = 4, n = 2;
+  util::Rng rng(77);
+  std::vector<float> a(m * k), b(n * k), ref(m * n);
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  reference_gemm(m, k, n, a, b, ref, false, true, 0.0f);
+
+  std::vector<float> c(m * n, std::numeric_limits<float>::quiet_NaN());
+  gemm_nt(m, k, n, a, b, c, /*beta=*/0.0f);
+  for (std::size_t i = 0; i < m * n; ++i) {
+    ASSERT_FALSE(std::isnan(c[i])) << "NaN leaked from C at " << i;
+    EXPECT_NEAR(c[i], ref[i], 1e-3f);
+  }
+
+  // gemm_nn and gemm_tn share the contract.
+  std::vector<float> b_nn(k * n);
+  rng.fill_normal(b_nn, 0.0f, 1.0f);
+  std::fill(c.begin(), c.end(), std::numeric_limits<float>::quiet_NaN());
+  gemm_nn(m, k, n, a, b_nn, c, /*beta=*/0.0f);
+  for (const float v : c) ASSERT_FALSE(std::isnan(v));
+
+  std::vector<float> a_tn(k * m);
+  rng.fill_normal(a_tn, 0.0f, 1.0f);
+  std::fill(c.begin(), c.end(), std::numeric_limits<float>::quiet_NaN());
+  gemm_tn(m, k, n, a_tn, b_nn, c, /*beta=*/0.0f);
+  for (const float v : c) ASSERT_FALSE(std::isnan(v));
+}
 
 TEST(Gemm, BetaAccumulates) {
   const std::size_t m = 2, k = 2, n = 2;
