@@ -1,0 +1,102 @@
+// Ablation (ROADMAP quantized-exchange axis; SAQ-style scalar
+// quantization): accuracy vs wire bytes across exchange codecs on a
+// fig-5-style workload (synthetic CIFAR-10, SkipTrain at the tuned Γ
+// schedule). Rows cover the dense codecs {fp32, fp16, int8, int8d} plus
+// the sparse+quant composition (int8 values on a masked 10% exchange) —
+// the full accuracy-vs-energy frontier one codec knob opens.
+#include "common.hpp"
+
+#include "graph/topology.hpp"
+#include "sim/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace skiptrain;
+  util::ArgParser args("ablation_quantization",
+                       "quantized exchange: accuracy vs wire bytes");
+  bench::add_common_flags(args, /*default_nodes=*/32, /*default_rounds=*/160);
+  args.add_int("degree", 6, "topology degree");
+  args.parse(argc, argv);
+
+  bench::print_header(
+      "Ablation: quantized model exchange (codec axis)",
+      "energy model bills wire bytes; fp32 dense = the paper's setting");
+
+  const bench::Workbench wb = bench::make_cifar_bench(args);
+  const sim::RunOptions base = bench::options_from_flags(args, wb);
+  const auto degree = static_cast<std::size_t>(args.get_int("degree"));
+  const std::size_t n = wb.data.num_nodes();
+  const std::size_t dim = wb.model.num_parameters();
+
+  util::Rng topo_rng(util::hash_combine(base.seed, 0x70700000ULL));
+  const graph::Topology topology =
+      graph::make_random_regular(n, degree, topo_rng);
+  const graph::MixingMatrix mixing =
+      graph::MixingMatrix::metropolis_hastings(topology);
+  const auto [gamma_train, gamma_sync] = bench::tuned_gammas(degree);
+  const core::SkipTrainScheduler scheduler(gamma_train, gamma_sync);
+  const auto& spec = energy::workload_spec(wb.workload);
+  const energy::Fleet fleet = energy::Fleet::even(n, wb.workload);
+  const metrics::Evaluator evaluator(&wb.data.test, base.eval_max_samples);
+
+  struct Variant {
+    quant::Codec codec;
+    std::size_t sparse_k;  // 0 = dense
+  };
+  const Variant variants[] = {
+      {quant::Codec::kIdentity, 0},
+      {quant::Codec::kFp16, 0},
+      {quant::Codec::kInt8, 0},
+      {quant::Codec::kInt8Dithered, 0},
+      {quant::Codec::kInt8Dithered, dim / 10},
+  };
+
+  util::TablePrinter table({"exchange", "B/param", "wire fraction",
+                            "final acc%", "comm energy Wh",
+                            "train energy Wh"});
+  for (const Variant& variant : variants) {
+    std::vector<std::size_t> degrees(n);
+    for (std::size_t i = 0; i < n; ++i) degrees[i] = topology.degree(i);
+    energy::EnergyAccountant accountant(
+        fleet, quant::comm_model_for(variant.codec), spec.model_params,
+        std::move(degrees));
+    sim::EngineConfig config;
+    config.local_steps = base.local_steps;
+    config.batch_size = base.batch_size;
+    config.learning_rate = base.learning_rate;
+    config.seed = base.seed;
+    config.sparse_exchange_k = variant.sparse_k;
+    config.exchange_codec = variant.codec;
+    sim::RoundEngine engine(wb.model, wb.data, mixing, scheduler,
+                            std::move(accountant), config);
+    engine.run_rounds(base.total_rounds);
+
+    std::vector<nn::Sequential*> models(n);
+    for (std::size_t i = 0; i < n; ++i) models[i] = &engine.model(i);
+    const double acc = evaluator.evaluate_fleet(models).accuracy.mean;
+
+    const double bpp = quant::wire_bytes_per_param(variant.codec);
+    const double mask_fraction =
+        variant.sparse_k == 0
+            ? 1.0
+            : static_cast<double>(std::min(variant.sparse_k, dim)) /
+                  static_cast<double>(dim);
+    std::string label = quant::codec_name(variant.codec);
+    if (variant.sparse_k != 0) {
+      label += "+mask-" + std::to_string(variant.sparse_k);
+    }
+    table.add_row({label, util::fixed(bpp, 3),
+                   util::fixed(mask_fraction * bpp / 4.0, 3),
+                   util::fixed(100.0 * acc, 2),
+                   util::fixed(engine.accountant().total_comm_wh(), 4),
+                   util::fixed(engine.accountant().total_training_wh(), 2)});
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: the comm bill scales with the codec's wire bytes "
+      "(4 / 2 / 1.125 B per param), and quantization composes with the "
+      "masked sparse exchange for a combined ~35x wire reduction. fp16 is "
+      "accuracy-neutral; int8 costs little because the per-block scales "
+      "track each row's range, and dithering keeps its error unbiased.\n");
+  return 0;
+}

@@ -5,8 +5,8 @@
 //
 // Results are written to BENCH_aggregate.json (override with
 // --benchmark_out=...) so CI records the gossip-kernel perf trajectory
-// per PR. `--quick` runs only the aggregate-phase grid at a short
-// min-time — the mode the CI Release job uses.
+// per PR. `--quick` runs only the aggregate-phase and exchange-codec
+// grids at a short min-time — the mode the CI Release job uses.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -142,6 +142,65 @@ BENCHMARK(BM_AggregatePlaneBlocked)
     ->Args({64, 100000})
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Exchange-codec kernels: encode/decode throughput per codec at compact
+// and large row sizes. Runs under --quick, so the codec grid lands in
+// BENCH_aggregate.json and codec kernel regressions show in the CI
+// artifact alongside the gossip-kernel trajectory.
+// ---------------------------------------------------------------------------
+
+void codec_bench_row(std::size_t dim, std::vector<float>& row) {
+  row.resize(dim);
+  util::Rng rng(10);
+  rng.fill_normal(row, 0.0f, 1.0f);
+}
+
+void BM_CodecEncode(benchmark::State& state) {
+  const auto kind = static_cast<quant::Codec>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto codec = quant::make_codec(kind, 42);
+  codec->begin_round(1);
+  std::vector<float> row;
+  codec_bench_row(dim, row);
+  quant::QuantizedRow wire;
+  for (auto _ : state) {
+    codec->encode(row, wire);
+    benchmark::DoNotOptimize(wire.dim);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * sizeof(float)));
+  state.SetLabel(quant::codec_token(kind));
+}
+
+void BM_CodecDecode(benchmark::State& state) {
+  const auto kind = static_cast<quant::Codec>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto codec = quant::make_codec(kind, 42);
+  codec->begin_round(1);
+  std::vector<float> row;
+  codec_bench_row(dim, row);
+  quant::QuantizedRow wire;
+  codec->encode(row, wire);
+  std::vector<float> decoded(dim);
+  for (auto _ : state) {
+    codec->decode(wire, decoded);
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim * sizeof(float)));
+  state.SetLabel(quant::codec_token(kind));
+}
+
+void RegisterCodecGrid(benchmark::internal::Benchmark* bench) {
+  for (const quant::Codec codec : quant::all_codecs()) {
+    for (const std::int64_t dim : {2752L, 100000L}) {
+      bench->Args({static_cast<std::int64_t>(codec), dim});
+    }
+  }
+}
+BENCHMARK(BM_CodecEncode)->Apply(RegisterCodecGrid);
+BENCHMARK(BM_CodecDecode)->Apply(RegisterCodecGrid);
+
 void BM_LocalSgdStep(benchmark::State& state) {
   data::CifarSynConfig config;
   config.nodes = 1;
@@ -243,10 +302,10 @@ BENCHMARK(BM_ShardPartition)->Arg(64)->Arg(256);
 
 }  // namespace
 
-// Custom main: `--quick` restricts the run to the aggregate-phase grid at
-// a short min-time (the per-PR CI mode), and results default to
-// BENCH_aggregate.json so the perf trajectory is recorded even when no
-// --benchmark_out is given.
+// Custom main: `--quick` restricts the run to the aggregate-phase and
+// codec grids at a short min-time (the per-PR CI mode), and results
+// default to BENCH_aggregate.json so the perf trajectory is recorded even
+// when no --benchmark_out is given.
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv, argv + argc);
   bool quick = false;
@@ -259,7 +318,8 @@ int main(int argc, char** argv) {
     }
   }
   if (quick) {
-    args.insert(args.begin() + 1, "--benchmark_filter=BM_Aggregate");
+    args.insert(args.begin() + 1,
+                "--benchmark_filter=BM_Aggregate|BM_Codec");
     args.insert(args.begin() + 1, "--benchmark_min_time=0.05");
   }
   const bool has_out =

@@ -38,7 +38,8 @@ SparseModel sparsify_topk(std::span<const float> params, std::size_t k) {
 }
 
 std::size_t effective_params(const SparseModel& message) {
-  return 2 * message.nnz();
+  return static_cast<std::size_t>(
+      std::llround(static_cast<double>(message.wire_bytes()) / 4.0));
 }
 
 void accumulate_sparse_difference(const SparseModel& message,

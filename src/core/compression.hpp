@@ -26,10 +26,15 @@ struct SparseModel {
   std::vector<float> values;
   std::size_t dim = 0;
 
+  /// Wire bytes per transmitted value: 4 (float32, the default), 2 (fp16)
+  /// or ~1 (int8) when the message's values are additionally quantized by
+  /// an exchange codec (see quant/codec.hpp). Indices always cost 4 bytes.
+  std::size_t value_bytes = 4;
+
   std::size_t nnz() const { return indices.size(); }
 
-  /// Bytes on the wire: 4 per index + 4 per value.
-  std::size_t wire_bytes() const { return nnz() * 8; }
+  /// Bytes on the wire: 4 per index + value_bytes per value.
+  std::size_t wire_bytes() const { return nnz() * (4 + value_bytes); }
 };
 
 /// Selects the k largest-magnitude coordinates of `params` (all of them
@@ -38,8 +43,11 @@ struct SparseModel {
 [[nodiscard]] SparseModel sparsify_topk(std::span<const float> params,
                                         std::size_t k);
 
-/// Effective parameter count for the energy model: a sparse message of k
-/// coordinates costs the same bytes as 2k dense parameters.
+/// Effective parameter count for the energy model: the message's wire
+/// bytes expressed in 4-byte dense-parameter units (rounded to nearest —
+/// flooring would bill tiny messages at zero). With the default 4-byte
+/// values this is exactly 2k; with quantized values it shrinks to
+/// k·(4 + value_bytes)/4.
 [[nodiscard]] std::size_t effective_params(const SparseModel& message);
 
 /// Applies `weight * (message − base)` onto `out` at the message's

@@ -36,6 +36,7 @@
 #include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
 #include "nn/serialize.hpp"
+#include "quant/codec.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"

@@ -98,7 +98,12 @@ struct CommModel {
   /// paper's 7 Wh aggregate; ~46 J/GB, in line with published Wi-Fi/LTE
   /// per-bit energy measurements).
   double mwh_per_megabyte = 0.01268;
-  double bytes_per_param = 4.0;  // float32 models on the wire
+
+  /// Wire bytes per exchanged parameter. Defaults to float32 (the paper's
+  /// setting); quantized exchanges derive it from the active codec via
+  /// quant::comm_model_for (4 / 2 / 1.125 for fp32 / fp16 / int8) so the
+  /// bill tracks the true wire volume instead of assuming 4 bytes.
+  double bytes_per_param = 4.0;
 
   /// Energy for one sharing+aggregation step of a node with `degree`
   /// neighbors exchanging a `params`-parameter model (send only; the

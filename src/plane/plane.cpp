@@ -20,10 +20,19 @@ void gather_masked_rows(ConstMatrixView source,
 
 void apply_mixing(const graph::MixingMatrix& mixing, ParameterPlane& plane,
                   std::size_t block_floats) {
+  apply_mixing_from(mixing, plane.current().view(), plane, block_floats);
+}
+
+void apply_mixing_from(const graph::MixingMatrix& mixing,
+                       ConstMatrixView source, ParameterPlane& plane,
+                       std::size_t block_floats) {
   if (mixing.num_nodes() != plane.nodes()) {
     throw std::invalid_argument("plane::apply_mixing: node count mismatch");
   }
-  graph::apply_mixing_blocked(mixing, plane.current().view().flat(),
+  if (source.rows != plane.nodes() || source.dim != plane.dim()) {
+    throw std::invalid_argument("plane::apply_mixing_from: source shape");
+  }
+  graph::apply_mixing_blocked(mixing, source.flat(),
                               plane.back().view().flat(), plane.dim(),
                               block_floats);
   plane.flip();

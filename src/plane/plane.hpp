@@ -121,4 +121,16 @@ void gather_masked_rows(ConstMatrixView source,
 void apply_mixing(const graph::MixingMatrix& mixing, ParameterPlane& plane,
                   std::size_t block_floats = 0);
 
+/// Same gossip round, but the kernel reads an EXTERNAL [n × dim] source —
+/// the staging-boundary seam for quantized exchanges: the engine decodes
+/// every wire payload into a staging arena and mixes from there, so the
+/// aggregation consumes exactly what crossed the (simulated) wire while
+/// the plane keeps its float32 layout. back() receives Σ_j W_ji source_j,
+/// then the buffers flip; current() still holds the pre-round rows
+/// afterwards in back() (callers that need the exact pre-exchange values,
+/// e.g. for the self-weight correction, read them there).
+void apply_mixing_from(const graph::MixingMatrix& mixing,
+                       ConstMatrixView source, ParameterPlane& plane,
+                       std::size_t block_floats = 0);
+
 }  // namespace skiptrain::plane

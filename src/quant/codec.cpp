@@ -1,0 +1,360 @@
+#include "quant/codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace skiptrain::quant {
+
+const char* codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kIdentity:
+      return "fp32";
+    case Codec::kFp16:
+      return "fp16";
+    case Codec::kInt8:
+      return "int8";
+    case Codec::kInt8Dithered:
+      return "int8d";
+  }
+  return "?";
+}
+
+const char* codec_token(Codec codec) {
+  switch (codec) {
+    case Codec::kIdentity:
+      return "identity";
+    case Codec::kFp16:
+      return "fp16";
+    case Codec::kInt8:
+      return "int8";
+    case Codec::kInt8Dithered:
+      return "int8-dither";
+  }
+  return "?";
+}
+
+Codec parse_codec(const std::string& name) {
+  if (name == "identity" || name == "fp32") return Codec::kIdentity;
+  if (name == "fp16") return Codec::kFp16;
+  if (name == "int8") return Codec::kInt8;
+  if (name == "int8-dither" || name == "int8d") return Codec::kInt8Dithered;
+  throw std::invalid_argument(
+      "parse_codec: unknown codec '" + name +
+      "' (expected identity|fp16|int8|int8-dither)");
+}
+
+const std::vector<Codec>& all_codecs() {
+  static const std::vector<Codec> kAll = {Codec::kIdentity, Codec::kFp16,
+                                          Codec::kInt8, Codec::kInt8Dithered};
+  return kAll;
+}
+
+double wire_bytes_per_param(Codec codec) {
+  switch (codec) {
+    case Codec::kIdentity:
+      return 4.0;
+    case Codec::kFp16:
+      return 2.0;
+    case Codec::kInt8:
+    case Codec::kInt8Dithered:
+      return 1.0 + static_cast<double>(kInt8BlockHeaderBytes) /
+                       static_cast<double>(kInt8BlockValues);
+  }
+  return 4.0;
+}
+
+energy::CommModel comm_model_for(Codec codec, energy::CommModel base) {
+  base.bytes_per_param = wire_bytes_per_param(codec);
+  return base;
+}
+
+// --- fp16 ------------------------------------------------------------------
+
+std::uint16_t fp16_from_float(float value) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+  const std::uint32_t abs = bits & 0x7fffffffu;
+  if (abs >= 0x7f800000u) {  // Inf / NaN
+    return static_cast<std::uint16_t>(
+        sign | (abs > 0x7f800000u ? 0x7e00u : 0x7c00u));
+  }
+  const std::uint32_t exp = abs >> 23;
+  const std::uint32_t mant = abs & 0x7fffffu;
+  if (exp >= 143) return static_cast<std::uint16_t>(sign | 0x7c00u);  // ovf
+  if (exp >= 113) {
+    // Normal half. Rounding may carry into the exponent field — including
+    // into Inf at the top of the range — which the flat layout absorbs.
+    auto half = static_cast<std::uint16_t>(((exp - 112) << 10) | (mant >> 13));
+    const std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+    return static_cast<std::uint16_t>(sign | half);
+  }
+  if (exp < 102) return sign;  // underflows to signed zero
+  // Subnormal half: shift the full 24-bit significand into 10 bits with
+  // round-to-nearest-even.
+  const std::uint32_t significand = mant | 0x800000u;
+  const std::uint32_t shift = 126 - exp;  // 14..24
+  auto half = static_cast<std::uint16_t>(significand >> shift);
+  const std::uint32_t half_bit = 1u << (shift - 1);
+  const std::uint32_t rem = significand & ((1u << shift) - 1u);
+  if (rem > half_bit || (rem == half_bit && (half & 1u))) ++half;
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float fp16_to_float(std::uint16_t half) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(half & 0x8000u) << 16;
+  const std::uint32_t exp = (half >> 10) & 0x1fu;
+  const std::uint32_t mant = half & 0x3ffu;
+  std::uint32_t bits;
+  if (exp == 31) {  // Inf / NaN
+    bits = sign | 0x7f800000u | (mant << 13);
+  } else if (exp != 0) {  // normal
+    bits = sign | ((exp + 112) << 23) | (mant << 13);
+  } else if (mant == 0) {  // signed zero
+    bits = sign;
+  } else {  // subnormal: renormalize
+    std::uint32_t m = mant;
+    std::uint32_t shifts = 0;
+    while (!(m & 0x400u)) {
+      m <<= 1;
+      ++shifts;
+    }
+    bits = sign | ((113 - shifts) << 23) | ((m & 0x3ffu) << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+// --- wire buffer -----------------------------------------------------------
+
+std::size_t QuantizedRow::wire_bytes() const {
+  switch (codec) {
+    case Codec::kIdentity:
+      return dim * sizeof(float);
+    case Codec::kFp16:
+      return dim * sizeof(std::uint16_t);
+    case Codec::kInt8:
+    case Codec::kInt8Dithered:
+      return dim + num_blocks() * kInt8BlockHeaderBytes;
+  }
+  return dim * sizeof(float);
+}
+
+namespace {
+
+/// Stateless uniform in [0,1) from (stream, coordinate): one SplitMix64
+/// finalizer over a Weyl-advanced state. Every node with the same seed and
+/// round regenerates the identical dither — the round-shared RNG.
+float dither_uniform(std::uint64_t stream, std::uint64_t coordinate) {
+  std::uint64_t z = stream + coordinate * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<float>(z >> 40) * 0x1.0p-24f;
+}
+
+std::uint64_t dither_stream(std::uint64_t seed, std::size_t round) {
+  // SplitMix64 over (seed ^ round-tag): cheap, and the per-coordinate Weyl
+  // walk above decorrelates rounds with nearby ids.
+  std::uint64_t z = seed ^ (0xd1770000ULL + round);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void check_decode_shapes(const QuantizedRow& in, std::span<float> out,
+                         Codec expected) {
+  if (in.codec != expected) {
+    throw std::invalid_argument("RowCodec::decode: payload codec mismatch");
+  }
+  if (in.dim != out.size()) {
+    throw std::invalid_argument("RowCodec::decode: dimension mismatch");
+  }
+}
+
+class IdentityCodec final : public RowCodec {
+ public:
+  Codec kind() const override { return Codec::kIdentity; }
+
+  void encode(std::span<const float> row, QuantizedRow& out) const override {
+    out.codec = Codec::kIdentity;
+    out.dim = row.size();
+    out.fp32.assign(row.begin(), row.end());
+  }
+
+  void decode(const QuantizedRow& in, std::span<float> out) const override {
+    check_decode_shapes(in, out, Codec::kIdentity);
+    std::copy(in.fp32.begin(), in.fp32.end(), out.begin());
+  }
+};
+
+/// Wire variant of fp16_from_float: values that would map to ±Inf
+/// (finite overflow or a genuinely infinite parameter) saturate to the
+/// largest finite half instead. An Inf on the wire would turn the
+/// receiver-side aggregation — and the sender's exact-self correction,
+/// Inf − Inf — into NaN and poison the whole fleet; NaN inputs are kept
+/// (they signal a run that is already broken).
+std::uint16_t fp16_wire(float value) {
+  const std::uint16_t half = fp16_from_float(value);
+  if ((half & 0x7fffu) == 0x7c00u) {  // ±Inf
+    return static_cast<std::uint16_t>((half & 0x8000u) | 0x7bffu);
+  }
+  return half;
+}
+
+class Fp16Codec final : public RowCodec {
+ public:
+  Codec kind() const override { return Codec::kFp16; }
+
+  void encode(std::span<const float> row, QuantizedRow& out) const override {
+    out.codec = Codec::kFp16;
+    out.dim = row.size();
+    out.half.resize(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out.half[i] = fp16_wire(row[i]);
+    }
+  }
+
+  void decode(const QuantizedRow& in, std::span<float> out) const override {
+    check_decode_shapes(in, out, Codec::kFp16);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = fp16_to_float(in.half[i]);
+    }
+  }
+};
+
+/// Shared skeleton of the two int8 variants: per-block affine range
+/// [lo, lo + 255·scale], codes in [0, 255]. A constant block encodes with
+/// scale = 0 and decodes exactly to lo.
+class Int8CodecBase : public RowCodec {
+ public:
+  void encode(std::span<const float> row, QuantizedRow& out) const override {
+    out.codec = kind();
+    out.dim = row.size();
+    out.round = round_;
+    const std::size_t blocks =
+        (row.size() + kInt8BlockValues - 1) / kInt8BlockValues;
+    out.codes.resize(row.size());
+    out.block_lo.resize(blocks);
+    out.block_scale.resize(blocks);
+    const std::uint64_t stream = dither_stream(seed_, round_);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t begin = b * kInt8BlockValues;
+      const std::size_t end = std::min(begin + kInt8BlockValues, row.size());
+      float lo = row[begin];
+      float hi = row[begin];
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        lo = std::min(lo, row[i]);
+        hi = std::max(hi, row[i]);
+      }
+      const float scale = (hi - lo) / 255.0f;
+      out.block_lo[b] = lo;
+      out.block_scale[b] = scale;
+      if (scale <= 0.0f) {
+        std::fill(out.codes.begin() + static_cast<std::ptrdiff_t>(begin),
+                  out.codes.begin() + static_cast<std::ptrdiff_t>(end),
+                  std::uint8_t{0});
+        continue;
+      }
+      const float inv_scale = 1.0f / scale;
+      for (std::size_t i = begin; i < end; ++i) {
+        const float t = (row[i] - lo) * inv_scale;
+        out.codes[i] = quantize(t, stream, i);
+      }
+    }
+  }
+
+  void decode(const QuantizedRow& in, std::span<float> out) const override {
+    check_decode_shapes(in, out, kind());
+    const std::uint64_t stream = dither_stream(seed_, in.round);
+    for (std::size_t b = 0; b < in.num_blocks(); ++b) {
+      const std::size_t begin = b * kInt8BlockValues;
+      const std::size_t end = std::min(begin + kInt8BlockValues, in.dim);
+      const float lo = in.block_lo[b];
+      const float scale = in.block_scale[b];
+      for (std::size_t i = begin; i < end; ++i) {
+        out[i] = lo + scale * dequantize(in.codes[i], stream, i);
+      }
+    }
+  }
+
+  void begin_round(std::size_t round) override { round_ = round; }
+
+ protected:
+  explicit Int8CodecBase(std::uint64_t seed) : seed_(seed) {}
+
+  /// Code for normalized value t in [0, 255].
+  virtual std::uint8_t quantize(float t, std::uint64_t stream,
+                                std::size_t coordinate) const = 0;
+
+  /// Normalized reconstruction point of a code.
+  virtual float dequantize(std::uint8_t code, std::uint64_t stream,
+                           std::size_t coordinate) const = 0;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t round_ = 0;
+};
+
+class Int8Codec final : public Int8CodecBase {
+ public:
+  explicit Int8Codec(std::uint64_t seed) : Int8CodecBase(seed) {}
+  Codec kind() const override { return Codec::kInt8; }
+
+ protected:
+  std::uint8_t quantize(float t, std::uint64_t, std::size_t) const override {
+    // Nearest code; t is in [0, 255] by construction, so no clamping error.
+    return static_cast<std::uint8_t>(
+        std::min(255L, std::max(0L, std::lroundf(t))));
+  }
+
+  float dequantize(std::uint8_t code, std::uint64_t,
+                   std::size_t) const override {
+    return static_cast<float>(code);
+  }
+};
+
+class Int8DitheredCodec final : public Int8CodecBase {
+ public:
+  explicit Int8DitheredCodec(std::uint64_t seed) : Int8CodecBase(seed) {}
+  Codec kind() const override { return Codec::kInt8Dithered; }
+
+ protected:
+  // Subtractive dither: q = floor(t + u), x̂ = q + 0.5 − u (both in
+  // normalized units). The error (q + 0.5 − u) − t lies in (−0.5, 0.5]
+  // for ANY t, is uniform, and is independent of the signal — unlike
+  // nearest rounding, which correlates the error with the value.
+  std::uint8_t quantize(float t, std::uint64_t stream,
+                        std::size_t coordinate) const override {
+    const float u = dither_uniform(stream, coordinate);
+    return static_cast<std::uint8_t>(
+        std::min(255.0f, std::max(0.0f, std::floor(t + u))));
+  }
+
+  float dequantize(std::uint8_t code, std::uint64_t stream,
+                   std::size_t coordinate) const override {
+    const float u = dither_uniform(stream, coordinate);
+    return static_cast<float>(code) + 0.5f - u;
+  }
+};
+
+}  // namespace
+
+void RowCodec::begin_round(std::size_t) {}
+
+std::unique_ptr<RowCodec> make_codec(Codec kind, std::uint64_t seed) {
+  switch (kind) {
+    case Codec::kIdentity:
+      return std::make_unique<IdentityCodec>();
+    case Codec::kFp16:
+      return std::make_unique<Fp16Codec>();
+    case Codec::kInt8:
+      return std::make_unique<Int8Codec>(seed);
+    case Codec::kInt8Dithered:
+      return std::make_unique<Int8DitheredCodec>(seed);
+  }
+  throw std::invalid_argument("make_codec: unknown codec");
+}
+
+}  // namespace skiptrain::quant

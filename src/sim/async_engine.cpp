@@ -36,6 +36,9 @@ AsyncGossipEngine::AsyncGossipEngine(const nn::Sequential& prototype,
   const std::size_t dim = prototype.num_parameters();
   models_ = plane::RowArena(n, dim);
   outbox_ = plane::RowArena(n, dim);
+  if (config_.exchange_codec != quant::Codec::kIdentity) {
+    codec_ = quant::make_codec(config_.exchange_codec, config_.seed);
+  }
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, prototype, data.node_view(i),
@@ -110,8 +113,18 @@ void AsyncGossipEngine::activate(std::size_t node) {
 
   // 4. Push the merged model: ONE copy into this node's outbox row, then
   // flag the delivery at every neighbor (they read the row on merge).
+  // With a codec, the outbox carries the encoded payload and the row
+  // holds its decode — the staging-boundary image all receivers merge.
   accountant_.record_exchange(node);
-  tensor::copy(mine, outbox_.row(node));
+  if (codec_ != nullptr) {
+    // The event loop is serial, so the per-sender round id is stable: use
+    // the node's local round as the dither stream.
+    codec_->begin_round(t);
+    codec_->encode(mine, wire_scratch_);
+    codec_->decode(wire_scratch_, outbox_.row(node));
+  } else {
+    tensor::copy(mine, outbox_.row(node));
+  }
   for (const std::size_t peer : neighbors) {
     // Find this node's slot at the peer (neighbor lists are sorted).
     const auto& peer_neighbors = topology_.neighbors(peer);

@@ -30,6 +30,7 @@
 #include "graph/topology.hpp"
 #include "nn/sequential.hpp"
 #include "plane/plane.hpp"
+#include "quant/codec.hpp"
 #include "sim/node.hpp"
 
 namespace skiptrain::sim {
@@ -42,6 +43,12 @@ struct AsyncConfig {
   /// Duration of a sync-only activation relative to a training activation
   /// (communication + aggregation are fast; cf. the >200x energy ratio).
   double sync_duration_factor = 0.05;
+
+  /// Wire format of pushed models (quant/codec.hpp). Non-identity codecs
+  /// make every outbox push carry an encoded payload; neighbors merge the
+  /// decoded image. Bill at the matching volume by building the
+  /// accountant's CommModel via quant::comm_model_for(exchange_codec).
+  quant::Codec exchange_codec = quant::Codec::kIdentity;
 };
 
 class AsyncGossipEngine {
@@ -101,6 +108,15 @@ class AsyncGossipEngine {
   plane::RowArena models_;
   plane::RowArena outbox_;
   std::vector<std::vector<char>> fresh_;
+
+  // Quantized pushes (non-identity codec only): a push encodes the model
+  // into the wire payload and materializes its decode into the sender's
+  // outbox row, so every receiver merges the identical decoded image
+  // without re-running the codec. The event loop is serial and nothing
+  // reads a payload after its decode, so ONE scratch buffer serves every
+  // sender (per-sender payloads would hold ~n·dim dead wire bytes).
+  std::unique_ptr<quant::RowCodec> codec_;
+  quant::QuantizedRow wire_scratch_;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   double now_ = 0.0;

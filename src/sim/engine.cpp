@@ -29,6 +29,16 @@ RoundEngine::RoundEngine(const nn::Sequential& prototype,
     throw std::invalid_argument("RoundEngine: accountant size != nodes");
   }
 
+  if (config_.exchange_codec != quant::Codec::kIdentity) {
+    codec_ = quant::make_codec(config_.exchange_codec, config_.seed);
+    wire_rows_.resize(n);
+    if (config_.sparse_exchange_k == 0) {
+      decoded_ = plane::RowArena(n, plane_.dim());
+    } else {
+      staged_decoded_ = plane::RowArena(staged_.rows(), staged_.dim());
+    }
+  }
+
   const nn::SgdOptions sgd{config_.learning_rate, 0.0f, 0.0f};
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -90,9 +100,36 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
 
   // Phase 3+4 — exchange & aggregate.
   if (config_.sparse_exchange_k == 0) {
-    // Dense: one blocked kernel current() → back(), then flip; reads touch
-    // only x^{t-1/2}, writes only x^t.
-    plane::apply_mixing(mixing_, plane_);
+    if (codec_ == nullptr) {
+      // Dense: one blocked kernel current() → back(), then flip; reads
+      // touch only x^{t-1/2}, writes only x^t.
+      plane::apply_mixing(mixing_, plane_);
+    } else {
+      // Dense quantized: every row crosses the wire encoded, so receivers
+      // mix the DECODED image x̂_j, not x_j. Encode+decode per sender
+      // (parallel; codecs are stateless per row), then run the blocked
+      // kernel over the decoded staging plane:
+      //   x_i^t = W_ii x_i^{t-1/2} + Σ_{j≠i} W_ij x̂_j^{t-1/2}.
+      codec_->begin_round(t);
+      util::parallel_for(0, n, [&](std::size_t i) {
+        codec_->encode(plane_.current().row(i), wire_rows_[i]);
+        codec_->decode(wire_rows_[i], decoded_.row(i));
+      });
+      plane::apply_mixing_from(mixing_, decoded_.view(), plane_);
+      // The kernel billed the self contribution at x̂_i, but a node's own
+      // model never crosses the wire — restore the exact self term. After
+      // the flip, back() still holds the pre-exchange x^{t-1/2}.
+      const plane::ConstMatrixView exact = plane_.back().view();
+      util::parallel_for(0, n, [&](std::size_t i) {
+        const float self_w = mixing_.self_weight(i);
+        const auto mine = exact.row(i);
+        const auto approx = decoded_.row(i);
+        const auto out = plane_.current().row(i);
+        for (std::size_t k = 0; k < out.size(); ++k) {
+          out[k] += self_w * (mine[k] - approx[k]);
+        }
+      });
+    }
     // The flip moved x^t to the other buffer; repoint every model's layer
     // views at its new row (pointer swap, no copies).
     for (std::size_t i = 0; i < n; ++i) {
@@ -108,12 +145,25 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
                                           config_.sparse_exchange_k);
     plane::gather_masked_rows(plane_.current().view(), round_mask_,
                               staged_.view());
+    if (codec_ != nullptr) {
+      // Sparse+quant composition: the k masked values are what crosses
+      // the wire, so they are what gets encoded. Receivers read the
+      // decoded image of a neighbor's staged values but keep their OWN
+      // values exact (a node never quantizes against itself).
+      codec_->begin_round(t);
+      util::parallel_for(0, n, [&](std::size_t i) {
+        codec_->encode(staged_.row(i), wire_rows_[i]);
+        codec_->decode(wire_rows_[i], staged_decoded_.row(i));
+      });
+    }
+    const plane::RowArena& theirs_pool =
+        codec_ != nullptr ? staged_decoded_ : staged_;
     util::parallel_for(0, n, [&](std::size_t i) {
       const auto row = plane_.current().row(i);
       const auto mine_staged = staged_.row(i);
       for (const auto& entry : mixing_.neighbor_weights(i)) {
         core::accumulate_staged_difference(round_mask_,
-                                           staged_.row(entry.neighbor),
+                                           theirs_pool.row(entry.neighbor),
                                            mine_staged, row, entry.weight);
       }
     });

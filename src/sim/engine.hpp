@@ -37,6 +37,7 @@
 #include "graph/mixing.hpp"
 #include "nn/sequential.hpp"
 #include "plane/plane.hpp"
+#include "quant/codec.hpp"
 #include "sim/node.hpp"
 
 namespace skiptrain::sim {
@@ -53,6 +54,16 @@ struct EngineConfig {
   /// Communication energy is billed at the compressed wire volume (k/dim —
   /// the mask is derived from the shared seed, so no indices travel).
   std::size_t sparse_exchange_k = 0;
+
+  /// Wire format of exchanged rows (quant/codec.hpp). kIdentity keeps the
+  /// float32 fast path bit-for-bit (no staging copy); other codecs
+  /// encode each outgoing row and decode at the staging boundary, so
+  /// receivers aggregate exactly what crossed the wire. Composes with
+  /// sparse_exchange_k: the k masked values are what gets quantized.
+  /// NOTE: the caller is responsible for billing at the matching wire
+  /// volume by building the accountant's CommModel via
+  /// quant::comm_model_for(exchange_codec).
+  quant::Codec exchange_codec = quant::Codec::kIdentity;
 };
 
 class RoundEngine {
@@ -105,6 +116,15 @@ class RoundEngine {
   plane::ParameterPlane plane_;
   // Compact [n × k] staging pool for the masked sparse exchange.
   plane::RowArena staged_;
+
+  // Quantized-exchange staging (allocated only for non-identity codecs):
+  // wire_rows_[i] is sender i's encoded payload; decoded_ (dense) or
+  // staged_decoded_ (masked) holds its decode — the values every receiver
+  // actually consumes.
+  std::unique_ptr<quant::RowCodec> codec_;
+  std::vector<quant::QuantizedRow> wire_rows_;
+  plane::RowArena decoded_;
+  plane::RowArena staged_decoded_;
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::size_t round_ = 0;

@@ -82,8 +82,10 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   const energy::WorkloadSpec& spec = energy::workload_spec(options.workload);
   std::vector<std::size_t> degrees(n);
   for (std::size_t i = 0; i < n; ++i) degrees[i] = topology.degree(i);
-  energy::EnergyAccountant accountant(fleet, energy::CommModel{},
-                                      spec.model_params, std::move(degrees));
+  // The comm model bills at the codec's true wire bytes per parameter.
+  energy::EnergyAccountant accountant(
+      fleet, quant::comm_model_for(options.exchange_codec),
+      spec.model_params, std::move(degrees));
 
   // --- Scheduler & engine -------------------------------------------------
   const std::unique_ptr<core::RoundScheduler> scheduler =
@@ -94,6 +96,7 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   engine_config.learning_rate = options.learning_rate;
   engine_config.seed = options.seed;
   engine_config.sparse_exchange_k = options.sparse_exchange_k;
+  engine_config.exchange_codec = options.exchange_codec;
   RoundEngine engine(prototype, data, mixing, *scheduler,
                      std::move(accountant), engine_config);
 

@@ -12,6 +12,7 @@
 #include "energy/device.hpp"
 #include "metrics/recorder.hpp"
 #include "nn/sequential.hpp"
+#include "quant/codec.hpp"
 
 namespace skiptrain::sim {
 
@@ -42,6 +43,12 @@ struct RunOptions {
   // Optional masked sparse exchange: k coordinates per round from a
   // round-shared random mask (0 = dense, the paper's setting).
   std::size_t sparse_exchange_k = 0;
+
+  // Wire codec for exchanged rows (identity = float32, the paper's
+  // setting). Selects both the engine's staging-boundary encode/decode and
+  // the energy model's bytes-per-param (quant::comm_model_for), so the
+  // billed wire volume always matches what the codec ships.
+  quant::Codec exchange_codec = quant::Codec::kIdentity;
 
   // Energy model: which paper workload's traces/budgets to charge.
   energy::Workload workload = energy::Workload::kCifar10;

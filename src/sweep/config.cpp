@@ -7,6 +7,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "quant/codec.hpp"
+
 namespace skiptrain::sweep {
 
 std::pair<std::size_t, std::size_t> tuned_gammas(std::size_t degree) {
@@ -228,6 +230,27 @@ SweepGrid make_preset(const std::string& name, const PresetParams& params) {
     };
     return grid;
   }
+  if (name == "quant") {
+    // Codec × Γ grid (the quantized-exchange tuning sweep): does a cheaper
+    // wire format change which (Γtrain, Γsync) schedule wins, and what
+    // does each codec cost in accuracy at the tuned schedule?
+    SweepGrid grid = preset_base(params, /*nodes=*/32, /*rounds=*/160);
+    grid.name = "quant";
+    grid.datasets =
+        dataset_axis(params.dataset.empty() ? "cifar" : params.dataset);
+    grid.algorithms = {sim::Algorithm::kSkipTrain};
+    grid.degrees = {6};
+    grid.gamma_syncs = gamma_range(params.gamma_max);
+    grid.gamma_trains = gamma_range(params.gamma_max);
+    grid.codecs = quant::all_codecs();
+    grid.finalize = [full, eval_every](TrialSpec& spec) {
+      if (full) apply_paper_horizon(spec);
+      spec.options.eval_every =
+          eval_every != 0 ? eval_every
+                          : spec.options.total_rounds;  // endpoint only
+    };
+    return grid;
+  }
   if (name == "smartphone") {
     SweepGrid grid = preset_base(params, /*nodes=*/64, /*rounds=*/160);
     grid.name = "smartphone";
@@ -242,13 +265,14 @@ SweepGrid make_preset(const std::string& name, const PresetParams& params) {
     if (full) grid.finalize = apply_paper_horizon;
     return grid;
   }
-  throw std::invalid_argument("make_preset: unknown preset '" + name +
-                              "' (known: fig3 fig5 fig6 table3 smartphone)");
+  throw std::invalid_argument(
+      "make_preset: unknown preset '" + name +
+      "' (known: fig3 fig5 fig6 table3 quant smartphone)");
 }
 
 const std::vector<std::string>& preset_names() {
-  static const std::vector<std::string> kNames = {"fig3", "fig5", "fig6",
-                                                  "table3", "smartphone"};
+  static const std::vector<std::string> kNames = {
+      "fig3", "fig5", "fig6", "table3", "quant", "smartphone"};
   return kNames;
 }
 
@@ -315,6 +339,11 @@ SweepGrid grid_from_kv(
       grid.gamma_syncs = parse_uint_list<std::size_t>(value, key);
     } else if (key == "sparse-k" || key == "sparse-ks") {
       grid.sparse_ks = parse_uint_list<std::size_t>(value, key);
+    } else if (key == "codec" || key == "codecs") {
+      grid.codecs.clear();
+      for (const std::string& token : split_list(value)) {
+        grid.codecs.push_back(quant::parse_codec(token));
+      }
     } else if (key == "rounds") {
       grid.base.total_rounds =
           static_cast<std::size_t>(parse_uint(value, key));

@@ -15,6 +15,7 @@
 //   gamma-train = 1..4
 //   gamma-sync  = 1..4
 //   seeds       = 42,43,44
+//   codecs      = identity,int8   # exchange wire formats (quant/codec.hpp)
 //
 // The presets are the single source of truth for the grids behind the
 // paper's figure/table harnesses; the bench binaries call make_preset with
@@ -60,9 +61,9 @@ struct PresetParams {
 
 /// Builds the grid behind a paper harness: "fig3" (γ grid), "fig5"
 /// (SkipTrain vs D-PSGD trade-off), "fig6" (energy-constrained
-/// comparison), "table3" (energy + accuracy summary), or "smartphone"
-/// (the §4.6 example fleet). Throws std::invalid_argument on unknown
-/// names.
+/// comparison), "table3" (energy + accuracy summary), "quant" (exchange
+/// codec × γ grid), or "smartphone" (the §4.6 example fleet). Throws
+/// std::invalid_argument on unknown names.
 [[nodiscard]] SweepGrid make_preset(const std::string& name,
                                     const PresetParams& params = {});
 

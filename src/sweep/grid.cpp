@@ -41,6 +41,7 @@ std::size_t SweepGrid::trial_count() const {
   mul(gamma_syncs.size());
   mul(gamma_trains.size());
   mul(sparse_ks.size());
+  mul(codecs.size());
   return count;
 }
 
@@ -53,6 +54,7 @@ std::vector<TrialSpec> SweepGrid::expand() const {
   const auto gamma_sync_axis = axis_or(gamma_syncs, base.gamma_sync);
   const auto gamma_train_axis = axis_or(gamma_trains, base.gamma_train);
   const auto sparse_axis = axis_or(sparse_ks, base.sparse_exchange_k);
+  const auto codec_axis = axis_or(codecs, base.exchange_codec);
 
   std::vector<TrialSpec> trials;
   trials.reserve(trial_count());
@@ -65,28 +67,31 @@ std::vector<TrialSpec> SweepGrid::expand() const {
             for (const std::size_t gamma_sync : gamma_sync_axis) {
               for (const std::size_t gamma_train : gamma_train_axis) {
                 for (const std::size_t sparse_k : sparse_axis) {
-                  TrialSpec spec;
-                  spec.index = trials.size();
-                  spec.data = data;
-                  spec.data.dataset = dataset;
-                  spec.data.nodes = nodes;
-                  spec.data.seed = seed;
-                  spec.options = base;
-                  spec.options.workload = workload;
-                  spec.options.seed = seed;
-                  spec.options.algorithm = algorithm;
-                  spec.options.degree = degree;
-                  spec.options.gamma_sync = gamma_sync;
-                  spec.options.gamma_train = gamma_train;
-                  spec.options.sparse_exchange_k = sparse_k;
-                  if (finalize) finalize(spec);
-                  if (scale_budgets_to_paper) {
-                    spec.options.budget_scale =
-                        static_cast<double>(spec.options.total_rounds) /
-                        static_cast<double>(
-                            energy::workload_spec(workload).total_rounds);
+                  for (const quant::Codec codec : codec_axis) {
+                    TrialSpec spec;
+                    spec.index = trials.size();
+                    spec.data = data;
+                    spec.data.dataset = dataset;
+                    spec.data.nodes = nodes;
+                    spec.data.seed = seed;
+                    spec.options = base;
+                    spec.options.workload = workload;
+                    spec.options.seed = seed;
+                    spec.options.algorithm = algorithm;
+                    spec.options.degree = degree;
+                    spec.options.gamma_sync = gamma_sync;
+                    spec.options.gamma_train = gamma_train;
+                    spec.options.sparse_exchange_k = sparse_k;
+                    spec.options.exchange_codec = codec;
+                    if (finalize) finalize(spec);
+                    if (scale_budgets_to_paper) {
+                      spec.options.budget_scale =
+                          static_cast<double>(spec.options.total_rounds) /
+                          static_cast<double>(
+                              energy::workload_spec(workload).total_rounds);
+                    }
+                    trials.push_back(std::move(spec));
                   }
-                  trials.push_back(std::move(spec));
                 }
               }
             }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "quant/codec.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -54,7 +55,7 @@ std::vector<TrialResult> ResultSink::take_rows() {
   return std::move(rows_);
 }
 
-const std::vector<std::string>& ResultSink::csv_header() {
+const std::vector<std::string>& ResultSink::csv_header(bool include_codec) {
   static const std::vector<std::string> kHeader = {
       "trial",        "dataset",     "nodes",        "algorithm",
       "degree",       "gamma_train", "gamma_sync",   "sparse_k",
@@ -62,13 +63,19 @@ const std::vector<std::string>& ResultSink::csv_header() {
       "std_accuracy", "best_accuracy", "train_energy_wh",
       "comm_energy_wh", "fleet_budget_wh", "training_rounds",
       "final_consensus", "error"};
-  return kHeader;
+  static const std::vector<std::string> kHeaderWithCodec = [] {
+    std::vector<std::string> header = kHeader;
+    header.insert(header.begin() + 8, "codec");  // after sparse_k
+    return header;
+  }();
+  return include_codec ? kHeaderWithCodec : kHeader;
 }
 
-std::vector<std::string> ResultSink::csv_row(const TrialResult& row) {
+std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
+                                             bool include_codec) {
   const TrialSpec& spec = row.spec;
   std::vector<std::string> cells;
-  cells.reserve(csv_header().size());
+  cells.reserve(csv_header(include_codec).size());
   cells.push_back(std::to_string(spec.index));
   cells.push_back(spec.data.dataset);
   cells.push_back(std::to_string(spec.data.nodes));
@@ -77,6 +84,9 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row) {
   cells.push_back(std::to_string(spec.options.gamma_train));
   cells.push_back(std::to_string(spec.options.gamma_sync));
   cells.push_back(std::to_string(spec.options.sparse_exchange_k));
+  if (include_codec) {
+    cells.push_back(quant::codec_token(spec.options.exchange_codec));
+  }
   cells.push_back(std::to_string(spec.options.seed));
   cells.push_back(std::to_string(spec.options.total_rounds));
   cells.push_back(row.ok() ? "ok" : "failed");
@@ -104,8 +114,20 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row) {
 
 void write_summary_csv(const std::string& path,
                        const std::vector<TrialResult>& rows) {
-  util::CsvWriter csv(path, ResultSink::csv_header());
-  for (const TrialResult& row : rows) csv.write_row(ResultSink::csv_row(row));
+  // The codec column appears only when a trial actually exercises a
+  // non-identity codec — a pure function of the rows, so the bytes stay
+  // deterministic AND pre-quantization grids keep their exact schema.
+  bool include_codec = false;
+  for (const TrialResult& row : rows) {
+    if (row.spec.options.exchange_codec != quant::Codec::kIdentity) {
+      include_codec = true;
+      break;
+    }
+  }
+  util::CsvWriter csv(path, ResultSink::csv_header(include_codec));
+  for (const TrialResult& row : rows) {
+    csv.write_row(ResultSink::csv_row(row, include_codec));
+  }
 }
 
 std::string render_summary_table(const std::vector<TrialResult>& rows) {

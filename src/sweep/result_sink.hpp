@@ -43,9 +43,14 @@ class ResultSink {
   std::vector<TrialResult> take_rows();
 
   /// Summary-CSV schema shared by the sink and SweepReport. Deliberately
-  /// excludes wall-clock so the bytes are reproducible run-to-run.
-  static const std::vector<std::string>& csv_header();
-  static std::vector<std::string> csv_row(const TrialResult& row);
+  /// excludes wall-clock so the bytes are reproducible run-to-run. The
+  /// codec column exists only when requested: write_summary_csv includes
+  /// it iff some row uses a non-identity exchange codec, so grids that
+  /// never touch the codec axis keep the pre-quantization bytes exactly.
+  static const std::vector<std::string>& csv_header(
+      bool include_codec = false);
+  static std::vector<std::string> csv_row(const TrialResult& row,
+                                          bool include_codec = false);
 
  private:
   mutable std::mutex mutex_;

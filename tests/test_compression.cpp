@@ -77,6 +77,31 @@ TEST(EffectiveParams, TwoPerCoordinate) {
   EXPECT_EQ(effective_params(message), 50u);
 }
 
+TEST(SparseModel, WireBytesGeneralizeOverValueBytes) {
+  // Quantized top-k composition: 4-byte index + 1-2-byte value.
+  SparseModel message = sparsify_topk(std::vector<float>(100, 1.0f), 10);
+  EXPECT_EQ(message.value_bytes, 4u);  // float32 default
+  EXPECT_EQ(message.wire_bytes(), 80u);
+  message.value_bytes = 2;  // fp16 values
+  EXPECT_EQ(message.wire_bytes(), 60u);
+  EXPECT_EQ(effective_params(message), 15u);
+  message.value_bytes = 1;  // int8 values
+  EXPECT_EQ(message.wire_bytes(), 50u);
+  EXPECT_EQ(effective_params(message), 13u);  // 12.5 rounds up, not down
+}
+
+TEST(EffectiveParams, RoundsToNearestNotDown) {
+  // k=1 at 4-byte values is exactly 2 dense params; at 1-byte values the
+  // 1.25-param message must not floor to 1 (the llround regression).
+  SparseModel message = sparsify_topk(std::vector<float>{3.0f, 1.0f}, 1);
+  EXPECT_EQ(effective_params(message), 2u);
+  message.value_bytes = 1;
+  EXPECT_EQ(effective_params(message), 1u);  // 1.25 -> 1
+  SparseModel three = sparsify_topk(std::vector<float>{3.0f, 1.0f, 2.0f}, 3);
+  three.value_bytes = 2;
+  EXPECT_EQ(effective_params(three), 5u);  // 4.5 -> 5 (round half up)
+}
+
 // --- Engine integration -----------------------------------------------------
 
 struct CompressionFixture {

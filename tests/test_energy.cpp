@@ -10,6 +10,7 @@
 #include "energy/accountant.hpp"
 #include "energy/device.hpp"
 #include "energy/fleet.hpp"
+#include "quant/codec.hpp"
 
 namespace skiptrain::energy {
 namespace {
@@ -254,6 +255,31 @@ TEST(Accountant, TotalsAggregateAcrossNodes) {
   EXPECT_NEAR(accountant.total_wh(),
               accountant.total_training_wh() + accountant.total_comm_wh(),
               1e-12);
+}
+
+TEST(Accountant, BillsCodecWireBytesPerParam) {
+  // Regression for the once-hardcoded 4 bytes/param: a dense fp32, fp16
+  // and int8 exchange of the same model must bill 4 / 2 / 1.125 bytes per
+  // parameter respectively (int8 = 1 code byte + the amortized per-block
+  // scale/offset header).
+  const Fleet fleet = Fleet::even(1, Workload::kCifar10);
+  const auto comm_wh_for = [&](quant::Codec codec) {
+    EnergyAccountant accountant(fleet, quant::comm_model_for(codec), 89834,
+                                std::vector<std::size_t>{6});
+    accountant.record_exchange(0);
+    return accountant.node_comm_mwh(0);
+  };
+  const double fp32 = comm_wh_for(quant::Codec::kIdentity);
+  const double fp16 = comm_wh_for(quant::Codec::kFp16);
+  const double int8 = comm_wh_for(quant::Codec::kInt8);
+  EXPECT_GT(fp32, 0.0);
+  EXPECT_NEAR(fp16 / fp32, 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(int8 / fp32, 1.125 / 4.0, 1e-12);
+  // And fp32 still matches the default (paper) comm model bit-for-bit.
+  EnergyAccountant baseline(fleet, CommModel{}, 89834,
+                            std::vector<std::size_t>{6});
+  baseline.record_exchange(0);
+  EXPECT_DOUBLE_EQ(fp32, baseline.node_comm_mwh(0));
 }
 
 TEST(Accountant, SizeMismatchThrows) {

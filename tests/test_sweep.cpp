@@ -213,6 +213,59 @@ TEST(SweepRunner, ResultsAreByteIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(serial_bytes, read_file(parallel_path));
 }
 
+TEST(SweepRunner, IdentityCodecLeavesSummaryCsvByteIdentical) {
+  // The codec axis must be invisible when it holds only the identity
+  // codec: same trial expansion, same engine fast path, same CSV bytes as
+  // a grid that never mentions codecs (the pre-quantization schema).
+  SweepGrid plain = tiny_grid();
+  plain.gamma_trains = {1, 2};
+  SweepGrid with_axis = tiny_grid();
+  with_axis.gamma_trains = {1, 2};
+  with_axis.codecs = {quant::Codec::kIdentity};
+
+  SweepOptions options;
+  options.threads = 2;
+  const SweepReport a = SweepRunner(options).run(plain);
+  const SweepReport b = SweepRunner(options).run(with_axis);
+  const std::string path_a = testing::TempDir() + "sweep_plain.csv";
+  const std::string path_b = testing::TempDir() + "sweep_identity.csv";
+  a.write_csv(path_a);
+  b.write_csv(path_b);
+  const std::string bytes = read_file(path_a);
+  EXPECT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, read_file(path_b));
+}
+
+TEST(SweepRunner, QuantizedTrialsAreByteIdenticalAcrossWorkerCounts) {
+  // The quantized exchange must keep the sweep determinism contract: the
+  // encode/decode fan-out runs on worker threads, so its output must not
+  // depend on the pool size.
+  SweepGrid grid = tiny_grid();
+  grid.codecs = {quant::Codec::kInt8Dithered};
+  grid.seeds = {1, 2};
+
+  SweepOptions serial_options;
+  serial_options.threads = 1;
+  const SweepReport serial = SweepRunner(serial_options).run(grid);
+  SweepOptions parallel_options;
+  parallel_options.threads = 4;
+  const SweepReport parallel = SweepRunner(parallel_options).run(grid);
+  EXPECT_TRUE(serial.all_ok());
+
+  const std::string serial_path = testing::TempDir() + "quant_serial.csv";
+  const std::string parallel_path = testing::TempDir() + "quant_parallel.csv";
+  serial.write_csv(serial_path);
+  parallel.write_csv(parallel_path);
+  const std::string bytes = read_file(serial_path);
+  EXPECT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, read_file(parallel_path));
+
+  // Quantized grids gain a codec attribution column (identity-only grids
+  // keep the pre-quantization schema — see the byte-identity test above).
+  EXPECT_NE(bytes.find(",codec,"), std::string::npos);
+  EXPECT_NE(bytes.find("int8-dither"), std::string::npos);
+}
+
 TEST(SweepRunner, TrialFailuresAreReportedNotSwallowed) {
   SweepGrid grid = tiny_grid();
   // degree >= nodes makes the topology builder throw for the middle trial.
@@ -313,6 +366,20 @@ TEST(SweepConfig, GridFromKvBuildsAxesAndBase) {
   EXPECT_EQ(grid.trial_count(), 2u * 2u * 3u * 2u * 2u * 2u);
 }
 
+TEST(SweepConfig, CodecKeyParsesAxis) {
+  const SweepGrid grid =
+      grid_from_kv({{"codecs", "identity,fp16,int8,int8-dither"}});
+  ASSERT_EQ(grid.codecs.size(), 4u);
+  EXPECT_EQ(grid.codecs[0], quant::Codec::kIdentity);
+  EXPECT_EQ(grid.codecs[3], quant::Codec::kInt8Dithered);
+  EXPECT_EQ(grid.trial_count(), 4u);
+  // Singular form and trial expansion.
+  const auto trials = grid_from_kv({{"codec", "int8"}}).expand();
+  ASSERT_EQ(trials.size(), 1u);
+  EXPECT_EQ(trials[0].options.exchange_codec, quant::Codec::kInt8);
+  EXPECT_THROW(grid_from_kv({{"codec", "int4"}}), std::invalid_argument);
+}
+
 TEST(SweepConfig, UnknownKeyThrows) {
   EXPECT_THROW(grid_from_kv({{"topology", "ring"}}), std::invalid_argument);
   EXPECT_THROW(grid_from_kv({{"rounds", "abc"}}), std::invalid_argument);
@@ -343,6 +410,7 @@ TEST(SweepConfig, PresetsExpandToTheirPublishedShapes) {
   EXPECT_EQ(make_preset("fig5").trial_count(), 12u);   // 2 ds x 2 alg x 3 deg
   EXPECT_EQ(make_preset("fig6").trial_count(), 9u);    // 3 alg x 3 deg
   EXPECT_EQ(make_preset("table3").trial_count(), 12u);
+  EXPECT_EQ(make_preset("quant").trial_count(), 64u);  // 4x4 Γ x 4 codecs
   EXPECT_EQ(make_preset("smartphone").trial_count(), 3u);
   EXPECT_THROW(make_preset("fig9"), std::invalid_argument);
 
@@ -360,7 +428,8 @@ TEST(SweepConfig, PresetsExpandToTheirPublishedShapes) {
   // --eval-every overrides every preset's hardcoded cadence.
   PresetParams cadence;
   cadence.eval_every = 7;
-  for (const char* name : {"fig3", "fig5", "fig6", "table3", "smartphone"}) {
+  for (const char* name :
+       {"fig3", "fig5", "fig6", "table3", "quant", "smartphone"}) {
     const auto cadence_trials = make_preset(name, cadence).expand();
     ASSERT_FALSE(cadence_trials.empty());
     EXPECT_EQ(cadence_trials[0].options.eval_every, 7u) << name;
