@@ -43,11 +43,23 @@ inline void add_common_flags(util::ArgParser& args,
   args.add_flag("full", "paper-scale run: 256 nodes, paper round counts");
 }
 
-/// Flag for harnesses that execute their grid on the sweep runner. Only
-/// those harnesses register it — on a serial bench it would be a no-op.
+/// Flags for harnesses that execute their grid on the sweep runner. Only
+/// those harnesses register them — on a serial bench they would be no-ops.
+/// The checkpoint trio makes any such harness crash-resumable: kill it
+/// mid-grid, rerun with --resume, and the summary CSV comes out
+/// byte-identical to an uninterrupted run.
 inline void add_sweep_flags(util::ArgParser& args) {
   args.add_int("threads", 0,
                "concurrent sweep trials (0 = hardware threads, 1 = serial)");
+  args.add_string("checkpoint-dir", "",
+                  "directory for per-trial results + fleet images "
+                  "(enables crash-resumable sweeps)");
+  args.add_int("checkpoint-every", 0,
+               "also write an in-flight fleet image every N rounds "
+               "(0 = trial granularity only)");
+  args.add_flag("resume",
+                "skip completed trials and re-enter in-flight ones from "
+                "their last fleet image");
 }
 
 /// Reads a count-valued flag, rejecting negatives with a clean exit —
@@ -111,7 +123,9 @@ inline sweep::SweepGrid make_preset_checked(
   }
 }
 
-/// Runs `grid` on the sweep runner with the --threads flag's concurrency.
+/// Runs `grid` on the sweep runner with the --threads flag's concurrency
+/// and the checkpoint flags (grid config-file values fill in whatever the
+/// flags leave unset).
 inline sweep::SweepReport run_sweep(const sweep::SweepGrid& grid,
                                     const util::ArgParser& args,
                                     bool verbose = false) {
@@ -123,6 +137,15 @@ inline sweep::SweepReport run_sweep(const sweep::SweepGrid& grid,
   sweep::SweepOptions options;
   options.threads = static_cast<std::size_t>(threads);
   options.verbose = verbose;
+  options.checkpoint_dir = args.get_string("checkpoint-dir");
+  if (options.checkpoint_dir.empty()) {
+    options.checkpoint_dir = grid.checkpoint_dir;
+  }
+  options.checkpoint_every = flag_size(args, "checkpoint-every");
+  if (options.checkpoint_every == 0) {
+    options.checkpoint_every = grid.checkpoint_every;
+  }
+  options.resume = args.get_flag("resume") || grid.resume;
   return sweep::SweepRunner(options).run(grid);
 }
 

@@ -5,11 +5,14 @@
 //
 // Results are written to BENCH_aggregate.json (override with
 // --benchmark_out=...) so CI records the gossip-kernel perf trajectory
-// per PR. `--quick` runs only the aggregate-phase and exchange-codec
-// grids at a short min-time — the mode the CI Release job uses.
+// per PR. `--quick` runs only the aggregate-phase, exchange-codec, and
+// fleet-checkpoint grids at a short min-time — the mode the CI Release
+// job uses.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -201,6 +204,81 @@ void RegisterCodecGrid(benchmark::internal::Benchmark* bench) {
 BENCHMARK(BM_CodecEncode)->Apply(RegisterCodecGrid);
 BENCHMARK(BM_CodecDecode)->Apply(RegisterCodecGrid);
 
+// ---------------------------------------------------------------------------
+// Fleet-image checkpoint write/restore throughput (ckpt/fleet_image): the
+// plane blob dominates, so bytes/s ~ serialization of n x dim float32.
+// Runs under --quick so the CI artifact tracks checkpoint-path
+// regressions alongside the gossip and codec kernels.
+// ---------------------------------------------------------------------------
+
+struct CheckpointBench {
+  data::FederatedData dataset;
+  nn::Sequential model;
+  graph::Topology topology;
+  graph::MixingMatrix mixing;
+  core::DpsgdScheduler scheduler;
+  energy::Fleet fleet;
+  std::unique_ptr<sim::RoundEngine> engine;
+  std::string path;
+
+  explicit CheckpointBench(std::size_t nodes)
+      : fleet(energy::Fleet::even(nodes, energy::Workload::kCifar10)) {
+    data::CifarSynConfig config;
+    config.nodes = nodes;
+    config.samples_per_node = 8;
+    config.test_pool = 10;
+    dataset = data::make_cifar_synthetic(config);
+    model = nn::make_compact_cifar_model(config.feature_dim);
+    util::Rng rng(11);
+    nn::initialize(model, rng);
+    util::Rng topo_rng(12);
+    topology = graph::make_random_regular(nodes, 6, topo_rng);
+    mixing = graph::MixingMatrix::metropolis_hastings(topology);
+    std::vector<std::size_t> degrees(nodes, 6);
+    energy::EnergyAccountant accountant(fleet, energy::CommModel{}, 89834,
+                                        std::move(degrees));
+    sim::EngineConfig engine_config;
+    engine_config.local_steps = 1;
+    engine_config.batch_size = 4;
+    engine = std::make_unique<sim::RoundEngine>(model, dataset, mixing,
+                                                scheduler,
+                                                std::move(accountant),
+                                                engine_config);
+    engine->run_round();
+    path = (std::filesystem::temp_directory_path() /
+            ("bench_ckpt_" + std::to_string(nodes) + ".sktf"))
+               .string();
+  }
+
+  std::int64_t plane_bytes() const {
+    return static_cast<std::int64_t>(engine->num_nodes() *
+                                     engine->parameter_plane().dim() *
+                                     sizeof(float));
+  }
+};
+
+void BM_CheckpointWrite(benchmark::State& state) {
+  CheckpointBench bench(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ckpt::save_fleet_image(*bench.engine, bench.path);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          bench.plane_bytes());
+}
+BENCHMARK(BM_CheckpointWrite)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  CheckpointBench bench(static_cast<std::size_t>(state.range(0)));
+  ckpt::save_fleet_image(*bench.engine, bench.path);
+  for (auto _ : state) {
+    ckpt::restore_fleet_image(*bench.engine, bench.path);
+    benchmark::DoNotOptimize(bench.engine->rounds_executed());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          bench.plane_bytes());
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_LocalSgdStep(benchmark::State& state) {
   data::CifarSynConfig config;
   config.nodes = 1;
@@ -319,7 +397,7 @@ int main(int argc, char** argv) {
   }
   if (quick) {
     args.insert(args.begin() + 1,
-                "--benchmark_filter=BM_Aggregate|BM_Codec");
+                "--benchmark_filter=BM_Aggregate|BM_Codec|BM_Checkpoint");
     args.insert(args.begin() + 1, "--benchmark_min_time=0.05");
   }
   const bool has_out =

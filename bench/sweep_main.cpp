@@ -87,6 +87,10 @@ int main(int argc, char** argv) {
                                    ? grid.name + "_sweep.csv"
                                    : args.get_string("csv");
   report.write_csv(csv_path);
+  if (report.resumed_trials != 0) {
+    std::printf("%zu completed trials loaded from checkpoint (not re-run)\n",
+                report.resumed_trials);
+  }
   std::printf("%zu trials in %.1fs (%zu failed), summary written to %s\n",
               report.trials.size(), report.wall_seconds, report.failures,
               csv_path.c_str());

@@ -1,0 +1,197 @@
+#include "ckpt/fleet_image.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "ckpt/io.hpp"
+#include "sim/async_engine.hpp"
+#include "sim/engine.hpp"
+
+namespace skiptrain::ckpt {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'K', 'T', 'F'};
+
+void write_experiment(ImageWriter& writer, const ExperimentState& state) {
+  writer.u64(state.records.size());
+  for (const metrics::RoundRecord& record : state.records) {
+    write_round_record(writer, record);
+  }
+  writer.u64(state.coordinated_training_rounds);
+}
+
+ExperimentState read_experiment(ImageReader& reader) {
+  ExperimentState state;
+  const std::uint64_t count =
+      reader.bounded_count(kRoundRecordWireBytes, "round record");
+  state.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    state.records.push_back(read_round_record(reader));
+  }
+  state.coordinated_training_rounds = reader.u64();
+  return state;
+}
+
+/// Writes header + kind/flag bytes + engine payload (+ experiment
+/// section) atomically.
+template <typename Engine>
+void save_image(const Engine& engine, EngineKind kind,
+                const ExperimentState* experiment,
+                const std::string& path) {
+  atomic_write(path, [&](std::ostream& out) {
+    write_header(out, kMagic, kFleetImageVersion);
+    ImageWriter writer(out);
+    writer.u8(static_cast<std::uint8_t>(kind));
+    writer.u8(experiment != nullptr ? 1 : 0);
+    // The configuration fingerprint precedes the engine payload so a
+    // resume can reject a stale image BEFORE mutating any engine state.
+    if (experiment != nullptr) writer.str(experiment->fingerprint);
+    engine.save_state(writer);
+    if (experiment != nullptr) write_experiment(writer, *experiment);
+  });
+}
+
+/// Opens + validates the file and hands a bounded reader positioned at
+/// the engine payload to `body(reader, has_experiment, fingerprint)`;
+/// rejects trailing bytes afterwards unless the body bails early by
+/// returning false (e.g. a fingerprint mismatch that leaves the payload
+/// unconsumed on purpose). Returns the body's verdict.
+template <typename Body>
+bool load_image(const std::string& path, EngineKind expected_kind,
+                bool want_experiment, Body&& body) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fleet image: cannot open " + path);
+  const std::uint64_t payload_bytes = read_header(
+      in, file_size_bytes(path), kMagic, kFleetImageVersion, path);
+  ImageReader reader(in, payload_bytes);
+  const auto kind = static_cast<EngineKind>(reader.u8());
+  if (kind != expected_kind) {
+    throw std::runtime_error("fleet image: " + path +
+                             " holds a different engine kind");
+  }
+  const bool has_experiment = reader.u8() != 0;
+  if (want_experiment && !has_experiment) {
+    throw std::runtime_error("fleet image: " + path +
+                             " has no experiment section");
+  }
+  const std::string fingerprint = has_experiment ? reader.str() : "";
+  if (!body(reader, has_experiment, fingerprint)) return false;
+  reader.require_exhausted(path);
+  return true;
+}
+
+}  // namespace
+
+FleetImageInfo probe_fleet_image(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fleet image: cannot open " + path);
+  const std::uint64_t payload_bytes = read_header(
+      in, file_size_bytes(path), kMagic, kFleetImageVersion, path);
+  ImageReader reader(in, payload_bytes);
+  FleetImageInfo info;
+  const std::uint8_t kind = reader.u8();
+  if (kind > static_cast<std::uint8_t>(EngineKind::kAsyncGossip)) {
+    throw std::runtime_error("fleet image: " + path +
+                             " has unknown engine kind " +
+                             std::to_string(kind));
+  }
+  info.engine = static_cast<EngineKind>(kind);
+  info.has_experiment = reader.u8() != 0;
+  if (info.has_experiment) (void)reader.str();  // configuration fingerprint
+  info.nodes = reader.u64();
+  info.dim = reader.u64();
+  info.round = reader.u64();
+  return info;
+}
+
+void save_fleet_image(const sim::RoundEngine& engine,
+                      const std::string& path) {
+  save_image(engine, EngineKind::kRoundEngine, nullptr, path);
+}
+
+void restore_fleet_image(sim::RoundEngine& engine, const std::string& path) {
+  (void)load_image(path, EngineKind::kRoundEngine, /*want_experiment=*/false,
+                   [&](ImageReader& reader, bool has_experiment,
+                       const std::string&) {
+                     engine.restore_state(reader);
+                     // Engine-only restores of an experiment image are
+                     // legal (e.g. post-mortem inspection); drain the
+                     // section so the trailing-byte check still holds.
+                     if (has_experiment) (void)read_experiment(reader);
+                     return true;
+                   });
+}
+
+void save_fleet_image(const sim::AsyncGossipEngine& engine,
+                      const std::string& path) {
+  save_image(engine, EngineKind::kAsyncGossip, nullptr, path);
+}
+
+void restore_fleet_image(sim::AsyncGossipEngine& engine,
+                         const std::string& path) {
+  (void)load_image(path, EngineKind::kAsyncGossip, /*want_experiment=*/false,
+                   [&](ImageReader& reader, bool has_experiment,
+                       const std::string&) {
+                     engine.restore_state(reader);
+                     if (has_experiment) (void)read_experiment(reader);
+                     return true;
+                   });
+}
+
+void save_experiment_image(const sim::RoundEngine& engine,
+                           const ExperimentState& experiment,
+                           const std::string& path) {
+  save_image(engine, EngineKind::kRoundEngine, &experiment, path);
+}
+
+bool restore_experiment_image(sim::RoundEngine& engine,
+                              ExperimentState& experiment,
+                              const std::string& path,
+                              const std::string& expected_fingerprint) {
+  return load_image(
+      path, EngineKind::kRoundEngine, /*want_experiment=*/true,
+      [&](ImageReader& reader, bool, const std::string& fingerprint) {
+        // A stale image (edited configuration) is rejected here, BEFORE
+        // any engine state is touched — the caller starts fresh.
+        if (!expected_fingerprint.empty() &&
+            fingerprint != expected_fingerprint) {
+          return false;
+        }
+        engine.restore_state(reader);
+        experiment = read_experiment(reader);
+        experiment.fingerprint = fingerprint;
+        return true;
+      });
+}
+
+void write_round_record(ImageWriter& writer,
+                        const metrics::RoundRecord& record) {
+  writer.u64(record.round);
+  writer.u8(record.training_round ? 1 : 0);
+  writer.f64(record.mean_accuracy);
+  writer.f64(record.std_accuracy);
+  writer.f64(record.mean_loss);
+  writer.f64(record.allreduce_accuracy);
+  writer.f64(record.train_energy_wh);
+  writer.f64(record.comm_energy_wh);
+  writer.u64(record.nodes_trained);
+  writer.f64(record.consensus);
+}
+
+metrics::RoundRecord read_round_record(ImageReader& reader) {
+  metrics::RoundRecord record;
+  record.round = static_cast<std::size_t>(reader.u64());
+  record.training_round = reader.u8() != 0;
+  record.mean_accuracy = reader.f64();
+  record.std_accuracy = reader.f64();
+  record.mean_loss = reader.f64();
+  record.allreduce_accuracy = reader.f64();
+  record.train_energy_wh = reader.f64();
+  record.comm_energy_wh = reader.f64();
+  record.nodes_trained = static_cast<std::size_t>(reader.u64());
+  record.consensus = reader.f64();
+  return record;
+}
+
+}  // namespace skiptrain::ckpt

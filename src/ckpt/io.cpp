@@ -1,0 +1,200 @@
+#include "ckpt/io.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace skiptrain::ckpt {
+
+void ImageWriter::bytes(const void* data, std::size_t size) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_) throw std::runtime_error("ckpt: write failed");
+}
+
+void ImageWriter::str(const std::string& text) {
+  u64(text.size());
+  if (!text.empty()) bytes(text.data(), text.size());
+}
+
+void ImageWriter::f32_blob(std::span<const float> values) {
+  if (!values.empty()) {
+    bytes(values.data(), values.size() * sizeof(float));
+  }
+}
+
+void ImageWriter::f32_vec(std::span<const float> values) {
+  u64(values.size());
+  f32_blob(values);
+}
+
+void ImageWriter::f64_vec(std::span<const double> values) {
+  u64(values.size());
+  if (!values.empty()) {
+    bytes(values.data(), values.size() * sizeof(double));
+  }
+}
+
+void ImageWriter::u64_vec(std::span<const std::size_t> values) {
+  u64(values.size());
+  for (const std::size_t value : values) {
+    u64(static_cast<std::uint64_t>(value));
+  }
+}
+
+void ImageReader::bytes(void* data, std::size_t size) {
+  if (size > remaining_) {
+    throw std::runtime_error("ckpt: truncated image (need " +
+                             std::to_string(size) + " bytes, " +
+                             std::to_string(remaining_) + " remain)");
+  }
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (in_.gcount() != static_cast<std::streamsize>(size)) {
+    throw std::runtime_error("ckpt: truncated image (short read)");
+  }
+  remaining_ -= size;
+}
+
+std::uint8_t ImageReader::u8() {
+  std::uint8_t value = 0;
+  bytes(&value, sizeof(value));
+  return value;
+}
+
+std::uint32_t ImageReader::u32() {
+  std::uint32_t value = 0;
+  bytes(&value, sizeof(value));
+  return value;
+}
+
+std::uint64_t ImageReader::u64() {
+  std::uint64_t value = 0;
+  bytes(&value, sizeof(value));
+  return value;
+}
+
+double ImageReader::f64() {
+  double value = 0.0;
+  bytes(&value, sizeof(value));
+  return value;
+}
+
+std::uint64_t ImageReader::bounded_count(std::size_t element_size,
+                                         const char* context) {
+  const std::uint64_t count = u64();
+  // Divide, never multiply: `count * element_size` could overflow u64 on
+  // a hostile prefix, `remaining_ / element_size` cannot.
+  if (count > remaining_ / element_size) {
+    throw std::runtime_error(std::string("ckpt: ") + context + " count " +
+                             std::to_string(count) +
+                             " exceeds remaining payload (" +
+                             std::to_string(remaining_) + " bytes)");
+  }
+  return count;
+}
+
+std::string ImageReader::str(std::size_t max_bytes) {
+  const std::uint64_t size = bounded_count(1, "string");
+  if (size > max_bytes) {
+    throw std::runtime_error("ckpt: string length " + std::to_string(size) +
+                             " exceeds cap " + std::to_string(max_bytes));
+  }
+  std::string text(static_cast<std::size_t>(size), '\0');
+  if (size != 0) bytes(text.data(), text.size());
+  return text;
+}
+
+void ImageReader::f32_blob(std::span<float> out) {
+  if (!out.empty()) bytes(out.data(), out.size() * sizeof(float));
+}
+
+std::vector<float> ImageReader::f32_vec() {
+  const std::uint64_t count = bounded_count(sizeof(float), "f32 vector");
+  std::vector<float> values(static_cast<std::size_t>(count));
+  f32_blob(values);
+  return values;
+}
+
+std::vector<double> ImageReader::f64_vec() {
+  const std::uint64_t count = bounded_count(sizeof(double), "f64 vector");
+  std::vector<double> values(static_cast<std::size_t>(count));
+  if (!values.empty()) bytes(values.data(), values.size() * sizeof(double));
+  return values;
+}
+
+std::vector<std::size_t> ImageReader::u64_vec() {
+  const std::uint64_t count =
+      bounded_count(sizeof(std::uint64_t), "u64 vector");
+  std::vector<std::size_t> values(static_cast<std::size_t>(count));
+  for (auto& value : values) value = static_cast<std::size_t>(u64());
+  return values;
+}
+
+void ImageReader::require_exhausted(const std::string& what) const {
+  if (remaining_ != 0) {
+    throw std::runtime_error("ckpt: " + what + " has " +
+                             std::to_string(remaining_) +
+                             " trailing bytes after the payload");
+  }
+}
+
+void write_header(std::ostream& out, const char magic[4],
+                  std::uint32_t version) {
+  ImageWriter writer(out);
+  writer.bytes(magic, 4);
+  writer.u32(version);
+}
+
+std::uint64_t read_header(std::istream& in, std::uint64_t file_bytes,
+                          const char magic[4], std::uint32_t version,
+                          const std::string& what) {
+  if (file_bytes < kHeaderBytes) {
+    throw std::runtime_error("ckpt: " + what +
+                             " is smaller than an image header");
+  }
+  ImageReader reader(in, kHeaderBytes);
+  char found[4] = {};
+  reader.bytes(found, sizeof(found));
+  if (std::memcmp(found, magic, 4) != 0) {
+    throw std::runtime_error("ckpt: bad magic in " + what);
+  }
+  const std::uint32_t found_version = reader.u32();
+  if (found_version != version) {
+    throw std::runtime_error("ckpt: " + what + " has unsupported version " +
+                             std::to_string(found_version) + " (expected " +
+                             std::to_string(version) + ")");
+  }
+  return file_bytes - kHeaderBytes;
+}
+
+std::uint64_t file_size_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("ckpt: cannot stat " + path + ": " +
+                             ec.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+void atomic_write(const std::string& path,
+                  const std::function<void(std::ostream&)>& payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ckpt: cannot open " + tmp);
+    payload(out);
+    out.flush();
+    if (!out) throw std::runtime_error("ckpt: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("ckpt: cannot rename " + tmp + " -> " + path +
+                             ": " + ec.message());
+  }
+}
+
+}  // namespace skiptrain::ckpt

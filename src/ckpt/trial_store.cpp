@@ -1,0 +1,143 @@
+#include "ckpt/trial_store.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+
+#include "ckpt/fleet_image.hpp"
+#include "ckpt/io.hpp"
+#include "quant/codec.hpp"
+#include "sweep/config.hpp"
+
+namespace skiptrain::ckpt {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'K', 'T', 'R'};
+
+std::string hex_float(double value) {
+  // %a round-trips exactly — the fingerprint must not depend on decimal
+  // formatting precision.
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string trial_file_base(const std::string& dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "trial_%06zu", index);
+  return dir + "/" + name;
+}
+
+std::string trial_fingerprint(const sweep::TrialSpec& spec) {
+  const sim::RunOptions& o = spec.options;
+  std::string fp = spec.data.key();
+  fp += "|alg=" + std::string(sweep::algorithm_token(o.algorithm));
+  fp += "|gt=" + std::to_string(o.gamma_train);
+  fp += "|gs=" + std::to_string(o.gamma_sync);
+  fp += "|T=" + std::to_string(o.total_rounds);
+  fp += "|deg=" + std::to_string(o.degree);
+  fp += "|E=" + std::to_string(o.local_steps);
+  fp += "|b=" + std::to_string(o.batch_size);
+  fp += "|lr=" + hex_float(o.learning_rate);
+  fp += "|k=" + std::to_string(o.sparse_exchange_k);
+  fp += "|codec=" + std::string(quant::codec_token(o.exchange_codec));
+  fp += "|wl=" + std::to_string(static_cast<int>(o.workload));
+  fp += "|bs=" + hex_float(o.budget_scale);
+  fp += "|ee=" + std::to_string(o.eval_every);
+  fp += "|es=" + std::to_string(o.eval_max_samples);
+  fp += "|val=" + std::to_string(o.eval_on_validation ? 1 : 0);
+  fp += "|ar=" + std::to_string(o.evaluate_allreduce ? 1 : 0);
+  fp += "|cons=" + std::to_string(o.track_consensus ? 1 : 0);
+  fp += "|seed=" + std::to_string(o.seed);
+  return fp;
+}
+
+void write_trial_result(const sweep::TrialResult& result,
+                        const std::string& path) {
+  atomic_write(path, [&](std::ostream& out) {
+    write_header(out, kMagic, kTrialResultVersion);
+    ImageWriter writer(out);
+    writer.u64(result.spec.index);
+    writer.str(trial_fingerprint(result.spec));
+    writer.u8(result.ok() ? 1 : 0);
+    writer.str(result.error);
+    const sim::ExperimentResult& r = result.result;
+    writer.str(r.algorithm);
+    writer.str(r.dataset);
+    writer.u64(r.nodes);
+    writer.u64(r.degree);
+    writer.f64(r.final_mean_accuracy);
+    writer.f64(r.final_std_accuracy);
+    writer.f64(r.final_allreduce_accuracy);
+    writer.f64(r.best_mean_accuracy);
+    writer.f64(r.total_training_wh);
+    writer.f64(r.total_comm_wh);
+    writer.f64(r.fleet_budget_wh);
+    writer.u64(r.coordinated_training_rounds);
+    writer.f64_vec(r.final_per_node_accuracy);
+    writer.str(r.recorder.name());
+    writer.u64(r.recorder.records().size());
+    for (const metrics::RoundRecord& record : r.recorder.records()) {
+      write_round_record(writer, record);
+    }
+  });
+}
+
+bool load_trial_result(const sweep::TrialSpec& spec, const std::string& path,
+                       sweep::TrialResult& out) {
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    const std::uint64_t payload_bytes = read_header(
+        in, file_size_bytes(path), kMagic, kTrialResultVersion, path);
+    ImageReader reader(in, payload_bytes);
+    if (reader.u64() != spec.index) return false;
+    if (reader.str() != trial_fingerprint(spec)) return false;
+
+    sweep::TrialResult trial;
+    trial.spec = spec;
+    trial.status = reader.u8() != 0 ? sweep::TrialStatus::kOk
+                                    : sweep::TrialStatus::kFailed;
+    trial.error = reader.str();
+    sim::ExperimentResult& r = trial.result;
+    r.algorithm = reader.str();
+    r.dataset = reader.str();
+    r.nodes = static_cast<std::size_t>(reader.u64());
+    r.degree = static_cast<std::size_t>(reader.u64());
+    r.final_mean_accuracy = reader.f64();
+    r.final_std_accuracy = reader.f64();
+    r.final_allreduce_accuracy = reader.f64();
+    r.best_mean_accuracy = reader.f64();
+    r.total_training_wh = reader.f64();
+    r.total_comm_wh = reader.f64();
+    r.fleet_budget_wh = reader.f64();
+    r.coordinated_training_rounds = static_cast<std::size_t>(reader.u64());
+    r.final_per_node_accuracy = reader.f64_vec();
+    r.recorder = metrics::Recorder(reader.str());
+    const std::uint64_t records =
+        reader.bounded_count(kRoundRecordWireBytes, "round record");
+    for (std::uint64_t i = 0; i < records; ++i) {
+      r.recorder.add(read_round_record(reader));
+    }
+    reader.require_exhausted(path);
+    out = std::move(trial);
+    return true;
+  } catch (const std::exception&) {
+    // Corrupt / truncated / stale result files are not fatal: the trial
+    // simply reruns.
+    return false;
+  }
+}
+
+void append_manifest(const std::string& dir, std::size_t index, bool ok) {
+  std::ofstream manifest(dir + "/manifest.txt",
+                         std::ios::app | std::ios::out);
+  if (!manifest) return;
+  manifest << index << ' ' << (ok ? "ok" : "failed") << '\n';
+}
+
+}  // namespace skiptrain::ckpt

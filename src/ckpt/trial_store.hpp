@@ -1,0 +1,62 @@
+// Trial-granular sweep persistence: the piece that makes a killed
+// 10,000-trial sweep resumable instead of a total loss.
+//
+// A checkpoint directory holds, per trial,
+//
+//   trial_<index>.result   the COMPLETED trial (status, metrics, full
+//                          recorder series) — written atomically when the
+//                          trial finishes; its presence is what lets
+//                          `sweep_main --resume` skip the trial entirely
+//                          and still emit a byte-identical summary CSV;
+//   trial_<index>.ckpt     the in-flight fleet image (ckpt/fleet_image)
+//                          the trial last wrote, from which a resumed
+//                          sweep re-enters the trial mid-run;
+//
+// plus an append-only, human-readable `manifest.txt` of completed trials
+// ("<index> <ok|failed>" per line). The result files are authoritative —
+// the manifest is informational, so a torn final line after a crash
+// cannot corrupt a resume.
+//
+// Every result file stores a fingerprint of the trial's complete
+// configuration. load_trial_result() returns false on a missing,
+// corrupt, or fingerprint-mismatched file (the trial simply reruns), so
+// stale checkpoints from an edited grid can never leak wrong rows into a
+// summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sweep/result_sink.hpp"
+
+namespace skiptrain::ckpt {
+
+inline constexpr std::uint32_t kTrialResultVersion = 1;
+
+/// `<dir>/trial_<zero-padded index>` — the base both per-trial file
+/// names share.
+[[nodiscard]] std::string trial_file_base(const std::string& dir,
+                                          std::size_t index);
+
+/// Stable textual identity of everything that determines a trial's
+/// outcome (dataset build key + every run option). Two specs with equal
+/// fingerprints produce bit-identical results.
+[[nodiscard]] std::string trial_fingerprint(const sweep::TrialSpec& spec);
+
+/// Atomically writes the completed trial to `path`.
+void write_trial_result(const sweep::TrialResult& result,
+                        const std::string& path);
+
+/// Loads a completed trial saved by write_trial_result into `out`,
+/// adopting `spec` as the result's spec. Returns false — without
+/// modifying `out` — when the file is missing, unreadable, malformed, or
+/// was written for a different trial configuration.
+[[nodiscard]] bool load_trial_result(const sweep::TrialSpec& spec,
+                                     const std::string& path,
+                                     sweep::TrialResult& out);
+
+/// Appends "<index> <ok|failed>" to `<dir>/manifest.txt`. Not
+/// authoritative (see file comment); failures to append are ignored.
+void append_manifest(const std::string& dir, std::size_t index, bool ok);
+
+}  // namespace skiptrain::ckpt

@@ -22,15 +22,13 @@ std::size_t count_training_rounds(std::size_t gamma_train,
   if (gamma_train == 0) {
     throw std::invalid_argument("count_training_rounds: Γtrain must be > 0");
   }
+  // Rounds are numbered from 1 and every cycle opens with Γtrain training
+  // rounds (round_kind's (t-1) mod cycle < Γtrain), so the partial final
+  // cycle contributes its first min(remainder, Γtrain) rounds.
   const std::size_t cycle = gamma_train + gamma_sync;
   const std::size_t full_cycles = total_rounds / cycle;
-  std::size_t count = full_cycles * gamma_train;
-  // Remaining rounds t = full_cycles*cycle + 1 .. total_rounds; Algorithm 2
-  // trains when t mod cycle < Γtrain, i.e. residues 0..Γtrain-1.
-  for (std::size_t t = full_cycles * cycle + 1; t <= total_rounds; ++t) {
-    if (t % cycle < gamma_train) ++count;
-  }
-  return count;
+  const std::size_t remainder = total_rounds % cycle;
+  return full_cycles * gamma_train + std::min(remainder, gamma_train);
 }
 
 double training_probability(std::size_t budget_rounds, double t_train) {

@@ -16,7 +16,8 @@ namespace skiptrain::core {
                                               std::size_t total_rounds);
 
 /// Exact number of rounds t in [1, T] satisfying Algorithm 2's predicate
-/// `t mod (Γtrain + Γsync) < Γtrain`.
+/// `(t - 1) mod (Γtrain + Γsync) < Γtrain` (rounds numbered from 1, each
+/// Γ-block opening with its training rounds).
 [[nodiscard]] std::size_t count_training_rounds(std::size_t gamma_train,
                                                 std::size_t gamma_sync,
                                                 std::size_t total_rounds);

@@ -25,11 +25,14 @@ std::string SkipTrainScheduler::name() const {
 }
 
 RoundKind SkipTrainScheduler::round_kind(std::size_t t) const {
-  // Algorithm 2, line 5: train iff t mod (Γtrain + Γsync) < Γtrain, with
-  // rounds numbered from 1.
+  // Algorithm 2, line 5 numbers rounds from 1, so the Γ-block position of
+  // round t is (t-1) mod (Γtrain + Γsync): every cycle opens with Γtrain
+  // training rounds. The former `t mod cycle` comparison shifted the
+  // whole schedule by one — with Γtrain = Γsync = 1 the very first round
+  // came out as a synchronization round.
   const std::size_t cycle = gamma_train_ + gamma_sync_;
-  return (t % cycle) < gamma_train_ ? RoundKind::kTraining
-                                    : RoundKind::kSynchronization;
+  return ((t - 1) % cycle) < gamma_train_ ? RoundKind::kTraining
+                                          : RoundKind::kSynchronization;
 }
 
 bool SkipTrainScheduler::should_train(std::size_t t, std::size_t node,

@@ -14,6 +14,9 @@
 //   auto result = skiptrain::sim::run_experiment(data, model, options);
 #pragma once
 
+#include "ckpt/fleet_image.hpp"
+#include "ckpt/io.hpp"
+#include "ckpt/trial_store.hpp"
 #include "core/compression.hpp"
 #include "core/equations.hpp"
 #include "core/scheduler.hpp"

@@ -79,6 +79,23 @@ double EnergyAccountant::total_training_wh() const {
   return total / 1000.0;
 }
 
+EnergyAccountant::State EnergyAccountant::capture_state() const {
+  return State{training_mwh_, comm_mwh_, training_rounds_, budget_};
+}
+
+void EnergyAccountant::restore_state(State state) {
+  const std::size_t n = num_nodes();
+  if (state.training_mwh.size() != n || state.comm_mwh.size() != n ||
+      state.training_rounds.size() != n || state.budget.size() != n) {
+    throw std::invalid_argument(
+        "EnergyAccountant::restore_state: state size mismatch");
+  }
+  training_mwh_ = std::move(state.training_mwh);
+  comm_mwh_ = std::move(state.comm_mwh);
+  training_rounds_ = std::move(state.training_rounds);
+  budget_ = std::move(state.budget);
+}
+
 double EnergyAccountant::total_comm_wh() const {
   double total = 0.0;
   for (const double mwh : comm_mwh_) total += mwh;

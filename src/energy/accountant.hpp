@@ -56,6 +56,22 @@ class EnergyAccountant {
   double total_comm_wh() const;
   double total_wh() const { return total_training_wh() + total_comm_wh(); }
 
+  /// Complete mutable state (per-node tallies and remaining budgets) —
+  /// everything record_training/record_exchange touch. Fleet checkpoints
+  /// capture and restore it so resumed runs bill identically; the
+  /// construction parameters (fleet, comm model, degrees) are NOT part of
+  /// the state and must match at restore time.
+  struct State {
+    std::vector<double> training_mwh;
+    std::vector<double> comm_mwh;
+    std::vector<std::size_t> training_rounds;
+    std::vector<std::size_t> budget;
+  };
+
+  [[nodiscard]] State capture_state() const;
+  /// Throws std::invalid_argument when the state's node count mismatches.
+  void restore_state(State state);
+
  private:
   Fleet fleet_;
   CommModel comm_model_;

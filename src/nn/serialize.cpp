@@ -1,8 +1,9 @@
 #include "nn/serialize.hpp"
 
-#include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "ckpt/io.hpp"
 
 namespace skiptrain::nn {
 
@@ -10,38 +11,29 @@ namespace {
 
 constexpr char kMagic[4] = {'S', 'K', 'T', 'N'};
 
-void write_exact(std::ofstream& out, const void* data, std::size_t bytes) {
-  out.write(static_cast<const char*>(data),
-            static_cast<std::streamsize>(bytes));
-  if (!out) throw std::runtime_error("checkpoint: write failed");
+std::ifstream open_for_read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  return in;
 }
 
-void read_exact(std::ifstream& in, void* data, std::size_t bytes) {
-  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  if (in.gcount() != static_cast<std::streamsize>(bytes)) {
-    throw std::runtime_error("checkpoint: truncated file");
+/// Reads the declared parameter count and validates it against the
+/// actual file size BEFORE any allocation happens: a hostile header can
+/// neither overflow `count * sizeof(float)` nor trigger a huge
+/// allocation, and files whose payload is shorter or longer than the
+/// declared count (truncation, trailing garbage) are rejected outright.
+std::uint64_t checked_param_count(ckpt::ImageReader& reader,
+                                  const std::string& path) {
+  const std::uint64_t count = reader.u64();
+  // Divide, never multiply: count * 4 could overflow on hostile input.
+  if (count != reader.remaining() / sizeof(float) ||
+      reader.remaining() % sizeof(float) != 0) {
+    throw std::runtime_error(
+        "checkpoint: " + path + " declares " + std::to_string(count) +
+        " parameters but holds " + std::to_string(reader.remaining()) +
+        " payload bytes (truncated or trailing garbage)");
   }
-}
-
-struct Header {
-  char magic[4];
-  std::uint32_t version;
-  std::uint64_t param_count;
-};
-
-Header read_header(std::ifstream& in, const std::string& path) {
-  Header header{};
-  read_exact(in, header.magic, sizeof(header.magic));
-  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("checkpoint: bad magic in " + path);
-  }
-  read_exact(in, &header.version, sizeof(header.version));
-  if (header.version != kCheckpointVersion) {
-    throw std::runtime_error("checkpoint: unsupported version " +
-                             std::to_string(header.version));
-  }
-  read_exact(in, &header.param_count, sizeof(header.param_count));
-  return header;
+  return count;
 }
 
 }  // namespace
@@ -50,35 +42,36 @@ void save_checkpoint(const Sequential& model, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
 
-  write_exact(out, kMagic, sizeof(kMagic));
-  write_exact(out, &kCheckpointVersion, sizeof(kCheckpointVersion));
-  const std::uint64_t count = model.num_parameters();
-  write_exact(out, &count, sizeof(count));
-
-  const std::vector<float> params = model.parameters_flat();
-  write_exact(out, params.data(), params.size() * sizeof(float));
+  ckpt::write_header(out, kMagic, kCheckpointVersion);
+  ckpt::ImageWriter writer(out);
+  writer.u64(model.num_parameters());
+  writer.f32_blob(model.parameter_arena());
 }
 
 void load_checkpoint(Sequential& model, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
-
-  const Header header = read_header(in, path);
-  if (header.param_count != model.num_parameters()) {
+  std::ifstream in = open_for_read(path);
+  const std::uint64_t payload_bytes = ckpt::read_header(
+      in, ckpt::file_size_bytes(path), kMagic, kCheckpointVersion, path);
+  ckpt::ImageReader reader(in, payload_bytes);
+  const std::uint64_t count = checked_param_count(reader, path);
+  if (count != model.num_parameters()) {
     throw std::runtime_error(
         "checkpoint: parameter count mismatch (file has " +
-        std::to_string(header.param_count) + ", model has " +
+        std::to_string(count) + ", model has " +
         std::to_string(model.num_parameters()) + ")");
   }
-  std::vector<float> params(header.param_count);
-  read_exact(in, params.data(), params.size() * sizeof(float));
+  std::vector<float> params(static_cast<std::size_t>(count));
+  reader.f32_blob(params);
+  reader.require_exhausted(path);
   model.set_parameters(params);
 }
 
 std::size_t checkpoint_param_count(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
-  return read_header(in, path).param_count;
+  std::ifstream in = open_for_read(path);
+  const std::uint64_t payload_bytes = ckpt::read_header(
+      in, ckpt::file_size_bytes(path), kMagic, kCheckpointVersion, path);
+  ckpt::ImageReader reader(in, payload_bytes);
+  return static_cast<std::size_t>(checked_param_count(reader, path));
 }
 
 }  // namespace skiptrain::nn

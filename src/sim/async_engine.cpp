@@ -1,9 +1,11 @@
 #include "sim/async_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/state_io.hpp"
 #include "tensor/ops.hpp"
 
 namespace skiptrain::sim {
@@ -75,6 +77,104 @@ void AsyncGossipEngine::run_until(double horizon_seconds) {
     activate(event.node);
   }
   now_ = std::max(now_, horizon_seconds);
+}
+
+detail::EngineIdentity AsyncGossipEngine::identity() const {
+  return detail::EngineIdentity{nodes_.size(),
+                                models_.dim(),
+                                config_.seed,
+                                config_.exchange_codec,
+                                /*sparse_k=*/0,
+                                config_.local_steps,
+                                config_.batch_size,
+                                std::bit_cast<std::uint32_t>(
+                                    config_.learning_rate),
+                                std::bit_cast<std::uint64_t>(
+                                    config_.sync_duration_factor),
+                                scheduler_.name()};
+}
+
+void AsyncGossipEngine::save_state(ckpt::ImageWriter& writer) const {
+  detail::write_identity(writer, identity(), activations_);
+  detail::write_accountant(writer, accountant_);
+  writer.f64(now_);
+  writer.u64(trainings_);
+  writer.u64_vec(local_round_);
+  // Fleet model rows and the per-sender outbox rows, each as one
+  // contiguous blob.
+  writer.f32_blob(models_.view().flat());
+  writer.f32_blob(outbox_.view().flat());
+  for (const auto& fresh : fresh_) {
+    writer.u64(fresh.size());
+    if (!fresh.empty()) writer.bytes(fresh.data(), fresh.size());
+  }
+  // Pending activations, drained from a copy of the queue in pop order
+  // (ascending (time, node) — deterministic for a given engine state).
+  auto queue = queue_;
+  writer.u64(queue.size());
+  while (!queue.empty()) {
+    writer.f64(queue.top().time);
+    writer.u64(queue.top().node);
+    queue.pop();
+  }
+  for (const auto& node : nodes_) detail::write_node_state(writer, *node);
+}
+
+void AsyncGossipEngine::restore_state(ckpt::ImageReader& reader) {
+  const std::size_t n = nodes_.size();
+  const std::uint64_t activations =
+      detail::read_validated_identity(reader, identity());
+  detail::read_accountant(reader, accountant_);
+  const double now = reader.f64();
+  const std::uint64_t trainings = reader.u64();
+  std::vector<std::size_t> local_round = reader.u64_vec();
+  if (local_round.size() != n) {
+    throw std::runtime_error("fleet image: local round counter count " +
+                             std::to_string(local_round.size()) +
+                             " != node count " + std::to_string(n));
+  }
+  reader.f32_blob(models_.view().flat());
+  reader.f32_blob(outbox_.view().flat());
+  std::vector<std::vector<char>> fresh(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t slots = reader.u64();
+    if (slots != topology_.degree(i)) {
+      throw std::runtime_error(
+          "fleet image: node " + std::to_string(i) + " has " +
+          std::to_string(slots) + " mailbox slots, topology expects " +
+          std::to_string(topology_.degree(i)));
+    }
+    fresh[i].resize(static_cast<std::size_t>(slots));
+    if (slots != 0) reader.bytes(fresh[i].data(), fresh[i].size());
+  }
+  const std::uint64_t pending = reader.u64();
+  if (pending > n) {
+    // Every node has exactly one pending activation (pushed at
+    // construction or at the end of its last activation).
+    throw std::runtime_error("fleet image: " + std::to_string(pending) +
+                             " pending events for " + std::to_string(n) +
+                             " nodes");
+  }
+  decltype(queue_) queue;
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    Event event{};
+    event.time = reader.f64();
+    event.node = static_cast<std::size_t>(reader.u64());
+    if (event.node >= n) {
+      throw std::runtime_error("fleet image: event for node " +
+                               std::to_string(event.node) +
+                               " out of range");
+    }
+    queue.push(event);
+  }
+  for (auto& node : nodes_) detail::read_node_state(reader, *node);
+
+  activations_ = static_cast<std::size_t>(activations);
+  trainings_ = static_cast<std::size_t>(trainings);
+  now_ = now;
+  local_round_ = std::move(local_round);
+  fresh_ = std::move(fresh);
+  queue_ = std::move(queue);
 }
 
 void AsyncGossipEngine::activate(std::size_t node) {

@@ -33,7 +33,16 @@
 #include "quant/codec.hpp"
 #include "sim/node.hpp"
 
+namespace skiptrain::ckpt {
+class ImageReader;
+class ImageWriter;
+}  // namespace skiptrain::ckpt
+
 namespace skiptrain::sim {
+
+namespace detail {
+struct EngineIdentity;
+}  // namespace detail
 
 struct AsyncConfig {
   std::size_t local_steps = 5;
@@ -76,7 +85,30 @@ class AsyncGossipEngine {
   nn::Sequential& model(std::size_t node) { return nodes_[node]->model(); }
   const energy::EnergyAccountant& accountant() const { return accountant_; }
 
+  /// Zero-copy view of every node's current model (row i = node i).
+  plane::ConstMatrixView node_parameters() const { return models_.view(); }
+
+  /// Serializes the engine's complete mutable state: the simulated clock,
+  /// activation/training counters, per-node local round counters, the
+  /// model and outbox arenas (row-arena-contiguous blobs), mailbox
+  /// freshness flags, the pending event queue, accountant tallies, and
+  /// per-node RNG/optimizer state. Part of the fleet-image format
+  /// (ckpt/fleet_image; callers normally go through save_fleet_image).
+  void save_state(ckpt::ImageWriter& writer) const;
+
+  /// Restores state saved by save_state into an engine constructed with
+  /// the SAME parameters. A restored engine continues its event loop
+  /// bit-exactly: run_until(H) after restore at time h produces the same
+  /// models as an uninterrupted run_until(H). Throws std::runtime_error
+  /// when the image does not match this engine's construction — checked
+  /// before anything mutates; but a file corrupted PAST its valid
+  /// identity prefix can throw mid-restore, leaving this engine's state
+  /// unspecified: discard and rebuild it after a restore failure.
+  void restore_state(ckpt::ImageReader& reader);
+
  private:
+  detail::EngineIdentity identity() const;
+
   struct Event {
     double time;
     std::size_t node;

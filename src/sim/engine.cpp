@@ -1,9 +1,11 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/state_io.hpp"
 #include "util/thread_pool.hpp"
 
 namespace skiptrain::sim {
@@ -184,6 +186,43 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
 
 void RoundEngine::run_rounds(std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) run_round();
+}
+
+/// Construction identity: restore refuses an image whose run setup
+/// differs from this engine's (wrong seed/codec/schedule would silently
+/// break the bit-identical resume contract).
+detail::EngineIdentity RoundEngine::identity() const {
+  return detail::EngineIdentity{nodes_.size(),
+                                plane_.dim(),
+                                config_.seed,
+                                config_.exchange_codec,
+                                config_.sparse_exchange_k,
+                                config_.local_steps,
+                                config_.batch_size,
+                                std::bit_cast<std::uint32_t>(
+                                    config_.learning_rate),
+                                /*aux_bits=*/0,
+                                scheduler_.name()};
+}
+
+void RoundEngine::save_state(ckpt::ImageWriter& writer) const {
+  detail::write_identity(writer, identity(), round_);
+  detail::write_accountant(writer, accountant_);
+  // The whole fleet as ONE contiguous blob: row i of current() is node
+  // i's x_i^t, and rows are arena-contiguous, so this is a single write
+  // (and a single read into the arena on restore).
+  writer.f32_blob(plane_.current().view().flat());
+  for (const auto& node : nodes_) detail::write_node_state(writer, *node);
+}
+
+void RoundEngine::restore_state(ckpt::ImageReader& reader) {
+  const std::uint64_t round =
+      detail::read_validated_identity(reader, identity());
+  detail::read_accountant(reader, accountant_);
+  // One read straight into the live arena; models already view these rows.
+  reader.f32_blob(plane_.current().view().flat());
+  for (auto& node : nodes_) detail::read_node_state(reader, *node);
+  round_ = static_cast<std::size_t>(round);
 }
 
 }  // namespace skiptrain::sim

@@ -40,7 +40,16 @@
 #include "quant/codec.hpp"
 #include "sim/node.hpp"
 
+namespace skiptrain::ckpt {
+class ImageReader;
+class ImageWriter;
+}  // namespace skiptrain::ckpt
+
 namespace skiptrain::sim {
+
+namespace detail {
+struct EngineIdentity;
+}  // namespace detail
 
 struct EngineConfig {
   std::size_t local_steps = 5;   // E
@@ -106,7 +115,29 @@ class RoundEngine {
   const energy::EnergyAccountant& accountant() const { return accountant_; }
   const core::RoundScheduler& scheduler() const { return scheduler_; }
 
+  /// Serializes the engine's complete mutable simulation state — round
+  /// counter, the [n × dim] plane blob (row-arena-contiguous, one write),
+  /// accountant tallies/budgets, and per-node RNG/optimizer state — plus
+  /// the construction fingerprint (seed, codec, sparse k, scheduler name)
+  /// used to validate restore_state. Part of the fleet-image format
+  /// (ckpt/fleet_image; callers normally go through save_fleet_image).
+  void save_state(ckpt::ImageWriter& writer) const;
+
+  /// Restores state saved by save_state into an engine constructed with
+  /// the SAME parameters (prototype, data, mixing, scheduler, accountant
+  /// construction, config). Bit-identical resume guarantee: after a
+  /// restore at round k, rounds k+1..T reproduce an uninterrupted run
+  /// byte-for-byte at any thread count. Throws std::runtime_error when
+  /// the image does not match this engine's construction — that check
+  /// runs before anything mutates, but a file corrupted PAST its valid
+  /// identity prefix can throw mid-restore, leaving this engine's state
+  /// unspecified: discard and rebuild it after a restore failure (as
+  /// sim::run_experiment does).
+  void restore_state(ckpt::ImageReader& reader);
+
  private:
+  detail::EngineIdentity identity() const;
+
   const graph::MixingMatrix& mixing_;
   const core::RoundScheduler& scheduler_;
   energy::EnergyAccountant accountant_;

@@ -24,6 +24,15 @@ class Node {
   const nn::Sequential& model() const { return model_; }
   data::DatasetView& data() { return data_; }
 
+  /// Mutable simulation state beyond the model parameters (which live in
+  /// the engine's plane): the batch-sampling RNG stream and the optimizer
+  /// momentum buffer. Exposed so fleet checkpoints (ckpt/fleet_image) can
+  /// capture and restore a node bit-exactly.
+  util::Rng& rng() { return rng_; }
+  const util::Rng& rng() const { return rng_; }
+  nn::SgdOptimizer& optimizer() { return optimizer_; }
+  const nn::SgdOptimizer& optimizer() const { return optimizer_; }
+
   /// Executes E steps of mini-batch SGD on the local shard (Algorithm 2,
   /// lines 8-10). Returns the mean training loss across the steps.
   double train_local(std::size_t local_steps, std::size_t batch_size);

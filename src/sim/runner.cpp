@@ -1,9 +1,13 @@
 #include "sim/runner.hpp"
 
+#include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "ckpt/fleet_image.hpp"
 #include "energy/fleet.hpp"
 #include "graph/topology.hpp"
 #include "metrics/consensus.hpp"
@@ -97,8 +101,68 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   engine_config.seed = options.seed;
   engine_config.sparse_exchange_k = options.sparse_exchange_k;
   engine_config.exchange_codec = options.exchange_codec;
-  RoundEngine engine(prototype, data, mixing, *scheduler,
-                     std::move(accountant), engine_config);
+  // The engine lives in an optional so an aborted checkpoint restore can
+  // rebuild it from scratch (restore mutates state section by section; a
+  // file corrupted past the header could otherwise leave a half-restored
+  // engine behind).
+  std::optional<RoundEngine> engine_slot;
+  const auto build_engine = [&] {
+    energy::EnergyAccountant engine_accountant = accountant;
+    engine_slot.emplace(prototype, data, mixing, *scheduler,
+                        std::move(engine_accountant), engine_config);
+  };
+  build_engine();
+
+  ExperimentResult result;
+  result.coordinated_training_rounds = 0;
+  std::vector<metrics::RoundRecord> restored_records;
+
+  // --- Resume from a fleet image -----------------------------------------
+  // The engine was constructed exactly as the checkpointed run's was
+  // (everything is a pure function of `options` and the dataset), so
+  // restoring its mutable state and the recorder series continues the
+  // run bit-exactly: rounds k+1..T and the resulting CSVs are
+  // byte-identical to the uninterrupted run. An UNUSABLE image never
+  // resumes and never fails the run — it falls back to a fresh start:
+  //   * stale fingerprint (edited configuration) or round counter past
+  //     this run's horizon: detected before any engine state is touched
+  //     (the probe is a cheap header read; restore validates the
+  //     fingerprint ahead of the engine payload);
+  //   * corrupt / truncated / version-mismatched image: the exception is
+  //     swallowed and the engine rebuilt, so one bad file cannot poison
+  //     the trial with a permanent failure row.
+  std::size_t start_round = 0;
+  if (options.resume && !options.checkpoint_path.empty() &&
+      std::filesystem::exists(options.checkpoint_path)) {
+    try {
+      const ckpt::FleetImageInfo info =
+          ckpt::probe_fleet_image(options.checkpoint_path);
+      ckpt::ExperimentState state;
+      // Strict <: an image AT the horizon would skip the main loop and
+      // its final-round evaluation entirely (empty per-node accuracies).
+      // Normal crash images always sit below the horizon anyway — the
+      // writer never checkpoints the final round.
+      if (info.round < options.total_rounds &&
+          ckpt::restore_experiment_image(*engine_slot, state,
+                                         options.checkpoint_path,
+                                         options.checkpoint_fingerprint)) {
+        start_round = engine_slot->rounds_executed();
+        restored_records = std::move(state.records);
+        result.coordinated_training_rounds =
+            static_cast<std::size_t>(state.coordinated_training_rounds);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "run_experiment: ignoring unusable checkpoint %s (%s); "
+                   "starting fresh\n",
+                   options.checkpoint_path.c_str(), e.what());
+      start_round = 0;
+      restored_records.clear();
+      result.coordinated_training_rounds = 0;
+      build_engine();
+    }
+  }
+  RoundEngine& engine = *engine_slot;
 
   // --- Evaluation --------------------------------------------------------
   const data::Dataset* eval_split =
@@ -115,7 +179,6 @@ ExperimentResult run_experiment(const data::FederatedData& data,
                  ? options.gamma_train + options.gamma_sync
                  : 8);
 
-  ExperimentResult result;
   result.algorithm = scheduler->name();
   result.dataset = data.name;
   result.nodes = n;
@@ -124,6 +187,9 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   result.recorder = metrics::Recorder(std::string(algorithm_name(
                                           options.algorithm)) +
                                       " on " + data.name);
+  for (const metrics::RoundRecord& record : restored_records) {
+    result.recorder.add(record);
+  }
 
   std::vector<double> last_per_node;
   const auto evaluate_now = [&](std::size_t round, core::RoundKind kind,
@@ -150,13 +216,24 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   };
 
   // --- Main loop (Algorithm 2's for t = 1..T) ------------------------------
-  for (std::size_t t = 1; t <= options.total_rounds; ++t) {
+  for (std::size_t t = start_round + 1; t <= options.total_rounds; ++t) {
     const RoundEngine::RoundOutcome outcome = engine.run_round();
     if (outcome.kind == core::RoundKind::kTraining) {
       ++result.coordinated_training_rounds;
     }
     if (t % eval_every == 0 || t == options.total_rounds) {
       evaluate_now(t, outcome.kind, outcome.nodes_trained);
+    }
+    // Checkpoint after the round's evaluation so the image carries every
+    // recorder row up to round t. The final round is never checkpointed —
+    // the caller persists the finished result instead.
+    if (!options.checkpoint_path.empty() && options.checkpoint_every != 0 &&
+        t % options.checkpoint_every == 0 && t < options.total_rounds) {
+      const ckpt::ExperimentState state{
+          result.recorder.records(),
+          static_cast<std::uint64_t>(result.coordinated_training_rounds),
+          options.checkpoint_fingerprint};
+      ckpt::save_experiment_image(engine, state, options.checkpoint_path);
     }
   }
 

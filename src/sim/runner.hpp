@@ -65,6 +65,24 @@ struct RunOptions {
   bool evaluate_allreduce = false;   // also score the averaged model
   bool track_consensus = false;
 
+  // Checkpointing (ckpt/fleet_image). When `checkpoint_path` is set and
+  // `checkpoint_every` > 0, the run writes an experiment image (engine
+  // state + recorder series) every checkpoint_every rounds, atomically.
+  // With `resume`, an existing image at checkpoint_path is restored and
+  // the run continues from its round — producing metrics byte-identical
+  // to an uninterrupted run (the intermittent-fleet setting of §3.2
+  // applied to the simulator itself). A resume with no image present is
+  // simply a fresh run.
+  std::string checkpoint_path{};
+  std::size_t checkpoint_every = 0;
+  bool resume = false;
+  // Opaque identity of THIS run's full configuration, stored in every
+  // image and validated on resume: a stale image written under a
+  // different configuration (e.g. an edited sweep grid) is ignored and
+  // the run starts fresh instead of resuming wrong state. Sweeps pass
+  // ckpt::trial_fingerprint; empty disables the check.
+  std::string checkpoint_fingerprint{};
+
   std::uint64_t seed = 42;
 };
 

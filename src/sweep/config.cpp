@@ -377,6 +377,12 @@ SweepGrid grid_from_kv(
       grid.base.evaluate_allreduce = parse_bool(value, key);
     } else if (key == "scale-budgets") {
       grid.scale_budgets_to_paper = parse_bool(value, key);
+    } else if (key == "checkpoint-dir" || key == "checkpoint_dir") {
+      grid.checkpoint_dir = value;
+    } else if (key == "checkpoint-every" || key == "checkpoint_every") {
+      grid.checkpoint_every = static_cast<std::size_t>(parse_uint(value, key));
+    } else if (key == "resume") {
+      grid.resume = parse_bool(value, key);
     } else if (key == "tuned-gammas") {
       tuned = parse_bool(value, key);
     } else {

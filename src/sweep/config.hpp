@@ -16,6 +16,9 @@
 //   gamma-sync  = 1..4
 //   seeds       = 42,43,44
 //   codecs      = identity,int8   # exchange wire formats (quant/codec.hpp)
+//   checkpoint-dir   = ckpt/      # crash-resumable sweep (ckpt/trial_store)
+//   checkpoint-every = 25         # in-flight fleet image cadence (rounds)
+//   resume           = true       # skip completed trials on rerun
 //
 // The presets are the single source of truth for the grids behind the
 // paper's figure/table harnesses; the bench binaries call make_preset with

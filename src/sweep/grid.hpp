@@ -80,6 +80,13 @@ struct SweepGrid {
   /// did by hand via options_from_flags).
   bool scale_budgets_to_paper = false;
 
+  /// Sweep-session checkpoint settings from config files (`checkpoint-dir`
+  /// / `checkpoint-every` / `resume` keys) — not grid axes; they map onto
+  /// SweepOptions (CLI flags override them in sweep_main).
+  std::string checkpoint_dir{};
+  std::size_t checkpoint_every = 0;
+  bool resume = false;
+
   /// Applied to each expanded trial (before budget scaling, so it may
   /// adjust total_rounds); lets callers couple axes that a cross product
   /// cannot express (e.g. the tuned (Γtrain, Γsync) pair per topology

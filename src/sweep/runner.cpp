@@ -1,12 +1,15 @@
 #include "sweep/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <optional>
 #include <thread>
 
+#include "ckpt/trial_store.hpp"
 #include "util/thread_pool.hpp"
 
 namespace skiptrain::sweep {
@@ -41,15 +44,58 @@ const TrialResult* SweepReport::find_trial(const std::string& dataset,
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
-TrialResult SweepRunner::run_trial(const TrialSpec& spec) {
+TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
   const auto start = std::chrono::steady_clock::now();
   TrialResult trial;
   trial.spec = spec;
+  resumed = false;
+
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  const std::string base =
+      checkpointing ? ckpt::trial_file_base(options_.checkpoint_dir,
+                                            spec.index)
+                    : std::string();
+  if (checkpointing && options_.resume) {
+    TrialResult stored;
+    // Only SUCCESSFUL persisted results short-circuit the trial: a stored
+    // failure is retried instead, so transient errors (memory pressure,
+    // I/O hiccups) self-heal on resume while deterministic failures just
+    // reproduce the same failed row.
+    if (ckpt::load_trial_result(spec, base + ".result", stored) &&
+        stored.ok()) {
+      trial = std::move(stored);
+      resumed = true;
+      trial.wall_seconds = seconds_since(start);
+      if (options_.verbose) {
+        std::fprintf(stderr, "[sweep] trial %zu/%s %s resumed from %s\n",
+                     spec.index, spec.data.dataset.c_str(),
+                     sim::algorithm_name(spec.options.algorithm),
+                     (base + ".result").c_str());
+      }
+      return trial;
+    }
+  }
+
   try {
     const std::shared_ptr<const SharedWorkload> workload =
         cache_.get(spec.data);
-    trial.result = sim::run_experiment(workload->data, workload->prototype,
-                                       spec.options);
+    if (checkpointing) {
+      // In-flight images let --resume re-enter this trial mid-run after
+      // a crash; the spec the sink/CSV see stays untouched.
+      TrialSpec augmented = spec;
+      augmented.options.checkpoint_path = base + ".ckpt";
+      augmented.options.checkpoint_every = options_.checkpoint_every;
+      augmented.options.resume = options_.resume;
+      // Stamped into every image and validated on resume, so an edited
+      // grid can never resume a stale in-flight image for this slot.
+      augmented.options.checkpoint_fingerprint =
+          ckpt::trial_fingerprint(spec);
+      trial.result = sim::run_experiment(workload->data, workload->prototype,
+                                         augmented.options);
+    } else {
+      trial.result = sim::run_experiment(workload->data, workload->prototype,
+                                         spec.options);
+    }
   } catch (const std::exception& e) {
     trial.status = TrialStatus::kFailed;
     trial.error = e.what();
@@ -58,6 +104,20 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec) {
     trial.error = "unknown exception";
   }
   trial.wall_seconds = seconds_since(start);
+  if (checkpointing) {
+    // Persistence failures (full disk, permissions) must not tear down
+    // the sweep: the in-memory result is intact and still reaches the
+    // summary CSV — only this trial's resumability is lost.
+    try {
+      ckpt::write_trial_result(trial, base + ".result");
+      ckpt::append_manifest(options_.checkpoint_dir, spec.index, trial.ok());
+      std::error_code ec;
+      std::filesystem::remove(base + ".ckpt", ec);  // image no longer needed
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[sweep] trial %zu: cannot persist result: %s\n",
+                   spec.index, e.what());
+    }
+  }
   if (options_.verbose) {
     std::fprintf(stderr, "[sweep] trial %zu/%s %s (%.2fs)%s%s\n", spec.index,
                  spec.data.dataset.c_str(),
@@ -72,12 +132,22 @@ SweepReport SweepRunner::run(const SweepGrid& grid) {
   const auto start = std::chrono::steady_clock::now();
   const std::vector<TrialSpec> trials = grid.expand();
   ResultSink sink(trials.size());
+  if (!options_.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(options_.checkpoint_dir);
+  }
+  std::atomic<std::size_t> resumed_trials{0};
+  const auto record_one = [&](const TrialSpec& spec) {
+    bool resumed = false;
+    TrialResult trial = run_trial(spec, resumed);
+    if (resumed) resumed_trials.fetch_add(1, std::memory_order_relaxed);
+    sink.record(std::move(trial));
+  };
 
   if (options_.threads == 1) {
     // Inline execution: the single trial in flight keeps the engine's
     // node-level parallelism.
     for (const TrialSpec& spec : trials) {
-      sink.record(run_trial(spec));
+      record_one(spec);
     }
   } else {
     const std::size_t hardware =
@@ -94,10 +164,10 @@ SweepReport SweepRunner::run(const SweepGrid& grid) {
     const bool pin_serial = workers >= hardware;
     util::ThreadPool pool(workers);
     for (const TrialSpec& spec : trials) {
-      pool.submit([this, &sink, spec, pin_serial] {
+      pool.submit([&record_one, spec, pin_serial] {
         std::optional<util::ThreadPool::ScopedForceSerial> serial_scope;
         if (pin_serial) serial_scope.emplace();
-        sink.record(run_trial(spec));
+        record_one(spec);
       });
     }
     pool.wait_idle();
@@ -107,6 +177,7 @@ SweepReport SweepRunner::run(const SweepGrid& grid) {
   report.name = grid.name;
   report.trials = sink.take_rows();  // also flags any missing slots
   report.failures = sink.failures();
+  report.resumed_trials = resumed_trials.load(std::memory_order_relaxed);
   report.wall_seconds = seconds_since(start);
   return report;
 }

@@ -38,12 +38,24 @@ struct SweepOptions {
 
   /// Print a one-line progress note per finished trial to stderr.
   bool verbose = false;
+
+  /// Crash-resumable sweeps (ckpt/trial_store). When set, every finished
+  /// trial's result is persisted to `<checkpoint_dir>/trial_<i>.result`
+  /// (atomically, plus a manifest line), and trials additionally write
+  /// in-flight fleet images every `checkpoint_every` rounds. With
+  /// `resume`, completed trials are loaded instead of re-run and
+  /// in-flight trials restart from their last image — the summary CSV
+  /// comes out byte-identical to an uninterrupted sweep.
+  std::string checkpoint_dir{};
+  std::size_t checkpoint_every = 0;
+  bool resume = false;
 };
 
 struct SweepReport {
   std::string name;
   std::vector<TrialResult> trials;  // grid-expansion (trial-index) order
   std::size_t failures = 0;
+  std::size_t resumed_trials = 0;  // loaded from checkpoint, not re-run
   double wall_seconds = 0.0;
 
   bool all_ok() const { return failures == 0; }
@@ -82,7 +94,9 @@ class SweepRunner {
   DatasetCache& cache() { return cache_; }
 
  private:
-  TrialResult run_trial(const TrialSpec& spec);
+  /// Runs (or, under --resume, loads) one trial. `resumed` is set when
+  /// the result came from the trial store instead of a fresh run.
+  TrialResult run_trial(const TrialSpec& spec, bool& resumed);
 
   SweepOptions options_;
   DatasetCache cache_;

@@ -37,8 +37,10 @@ void CsvWriter::write_row(const std::vector<double>& cells) {
 }
 
 std::string CsvWriter::escape(std::string_view cell) {
+  // '\r' must trigger quoting too: RFC 4180 line breaks are CRLF, so an
+  // unquoted carriage return splits the row for conforming parsers.
   const bool needs_quotes =
-      cell.find_first_of(",\"\n") != std::string_view::npos;
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
   if (!needs_quotes) return std::string(cell);
   std::string quoted = "\"";
   for (const char c : cell) {

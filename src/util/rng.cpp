@@ -119,6 +119,20 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
 
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
+Rng::State Rng::state() const {
+  State state;
+  for (std::size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::set_state(const State& state) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 double stateless_uniform(std::uint64_t seed, std::uint64_t a,
                          std::uint64_t b) {
   SplitMix64 mixer(hash_combine(hash_combine(seed, a), b));

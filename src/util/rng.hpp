@@ -93,6 +93,19 @@ class Rng {
   /// Bernoulli draw with success probability p.
   bool bernoulli(double p);
 
+  /// Complete serializable generator state: the 256-bit xoshiro state plus
+  /// the Box–Muller normal cache. Capturing and restoring it makes the
+  /// stream continue bit-exactly — the contract fleet checkpoints
+  /// (ckpt/fleet_image) rely on for crash-resumable simulations.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  [[nodiscard]] State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

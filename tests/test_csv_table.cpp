@@ -44,6 +44,10 @@ TEST_F(CsvTest, EscapesSpecialCharacters) {
   EXPECT_EQ(CsvWriter::escape("has,comma"), "\"has,comma\"");
   EXPECT_EQ(CsvWriter::escape("has\"quote"), "\"has\"\"quote\"");
   EXPECT_EQ(CsvWriter::escape("multi\nline"), "\"multi\nline\"");
+  // Regression: '\r' must trigger quoting too — RFC 4180 rows end in
+  // CRLF, so an unquoted carriage return splits the row.
+  EXPECT_EQ(CsvWriter::escape("carriage\rreturn"), "\"carriage\rreturn\"");
+  EXPECT_EQ(CsvWriter::escape("crlf\r\npair"), "\"crlf\r\npair\"");
 }
 
 TEST(CsvFormat, FormatDouble) {

@@ -198,15 +198,16 @@ TEST(Engine, RoundOutcomeReportsKindAndCount) {
   Fixture fixture(8, 4);
   RoundEngine engine = fixture.make_engine(scheduler);
 
-  // t=1: 1 mod 2 = 1, not < 1 -> sync. t=2: 0 < 1 -> train.
+  // Rounds number from 1 and every Γ-block opens with training: t=1
+  // trains ((1-1) mod 2 = 0 < 1), t=2 synchronizes.
   const auto first = engine.run_round();
-  EXPECT_EQ(first.kind, core::RoundKind::kSynchronization);
-  EXPECT_EQ(first.nodes_trained, 0u);
+  EXPECT_EQ(first.kind, core::RoundKind::kTraining);
+  EXPECT_EQ(first.nodes_trained, 8u);
+  EXPECT_GT(first.mean_local_loss, 0.0);
 
   const auto second = engine.run_round();
-  EXPECT_EQ(second.kind, core::RoundKind::kTraining);
-  EXPECT_EQ(second.nodes_trained, 8u);
-  EXPECT_GT(second.mean_local_loss, 0.0);
+  EXPECT_EQ(second.kind, core::RoundKind::kSynchronization);
+  EXPECT_EQ(second.nodes_trained, 0u);
   EXPECT_EQ(engine.rounds_executed(), 2u);
 }
 

@@ -63,13 +63,35 @@ TEST(Dpsgd, AlwaysTrains) {
 }
 
 TEST(SkipTrain, PatternMatchesAlgorithm2Formula) {
-  // Γt=2, Γs=3, cycle 5: trains iff t mod 5 in {0, 1}.
+  // Γt=2, Γs=3, cycle 5, rounds numbered from 1: trains iff
+  // (t-1) mod 5 in {0, 1} — i.e. t in {1, 2, 6, 7, 11, 12, ...}.
   const SkipTrainScheduler scheduler(2, 3);
   for (std::size_t t = 1; t <= 30; ++t) {
-    const bool expected_train = (t % 5) < 2;
+    const bool expected_train = ((t - 1) % 5) < 2;
     EXPECT_EQ(scheduler.round_kind(t) == RoundKind::kTraining, expected_train)
         << "t=" << t;
     EXPECT_EQ(scheduler.should_train(t, 3, 100), expected_train);
+  }
+}
+
+TEST(SkipTrain, FirstRoundsOfEveryScheduleAreTrainingRounds) {
+  // Regression for the schedule off-by-one: with rounds numbered from 1,
+  // every Γ-block starts with its Γtrain training rounds, so rounds
+  // 1..Γtrain always train — in particular round 1, for ANY (Γt, Γs).
+  // The former `t mod cycle` predicate made round 1 a synchronization
+  // round whenever Γtrain <= Γsync (e.g. Γt=Γs=1) and shifted every
+  // block by one.
+  for (std::size_t gamma_train = 1; gamma_train <= 4; ++gamma_train) {
+    for (std::size_t gamma_sync = 1; gamma_sync <= 4; ++gamma_sync) {
+      const SkipTrainScheduler scheduler(gamma_train, gamma_sync);
+      for (std::size_t t = 1; t <= gamma_train; ++t) {
+        EXPECT_EQ(scheduler.round_kind(t), RoundKind::kTraining)
+            << "Γt=" << gamma_train << " Γs=" << gamma_sync << " t=" << t;
+      }
+      EXPECT_EQ(scheduler.round_kind(gamma_train + 1),
+                RoundKind::kSynchronization)
+          << "Γt=" << gamma_train << " Γs=" << gamma_sync;
+    }
   }
 }
 

@@ -82,6 +82,42 @@ TEST_F(SerializeTest, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST_F(SerializeTest, TrailingGarbageAfterPayloadThrows) {
+  // Regression: the loader used to read exactly param_count floats and
+  // silently ignore whatever followed, so a corrupted (e.g. doubly
+  // concatenated) checkpoint half-loaded as a valid one.
+  Sequential model = make_mlp(8, {16}, 4);
+  util::Rng rng(11);
+  initialize(model, rng);
+  save_checkpoint(model, path_);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "trailing garbage";
+  }
+  EXPECT_THROW(load_checkpoint(model, path_), std::runtime_error);
+  EXPECT_THROW((void)checkpoint_param_count(path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, HostileParamCountIsRejectedBeforeAllocating) {
+  // A header claiming 2^61 parameters would overflow
+  // `param_count * sizeof(float)` (and try to allocate exabytes) in the
+  // old loader. The hardened reader bounds the count against the actual
+  // file size first.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write("SKTN", 4);
+    const std::uint32_t version = kCheckpointVersion;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const std::uint64_t huge = std::uint64_t{1} << 61;
+    out.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+    const float payload[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+    out.write(reinterpret_cast<const char*>(payload), sizeof(payload));
+  }
+  Sequential model = make_mlp(8, {16}, 4);
+  EXPECT_THROW(load_checkpoint(model, path_), std::runtime_error);
+  EXPECT_THROW((void)checkpoint_param_count(path_), std::runtime_error);
+}
+
 TEST_F(SerializeTest, LargeModelRoundTrip) {
   Sequential model = make_cifar_cnn();
   util::Rng rng(7);
