@@ -5,9 +5,10 @@
 //
 // Results are written to BENCH_aggregate.json (override with
 // --benchmark_out=...) so CI records the gossip-kernel perf trajectory
-// per PR. `--quick` runs only the aggregate-phase, exchange-codec, and
-// fleet-checkpoint grids at a short min-time — the mode the CI Release
-// job uses.
+// per PR. `--quick` runs the aggregate-phase, exchange-codec,
+// fleet-checkpoint, kernel-layer GEMM, and Conv2d grids at a short
+// min-time — the mode the CI Release job uses; the GEMM/Conv rows feed
+// the bench regression gate (tools/check_bench_regression.py).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -38,6 +39,127 @@ void BM_GemmNT(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * m * k * n));
 }
 BENCHMARK(BM_GemmNT)->Arg(16)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Kernel-layer GEMM grid: the blocked/packed kernels vs the retained seed
+// loops (gemm_*_ref), at the shapes the model-zoo layers actually run
+// (args are {m, k, n}). Runs under --quick; the CI bench gate compares
+// each blocked row against its Ref twin from BENCH_aggregate.json.
+//
+//   nt {16, 3136, 512}: femnist Linear(3136->512) forward, batch 16
+//   nt {16, 64, 32}   : compact CIFAR MLP forward, batch 16
+//   nn {16, 512, 3136}: femnist Linear backward dX
+//   nn {32, 800, 256} : GN-LeNet conv2 forward as im2col GEMM
+//   tn {512, 16, 3136}: femnist Linear backward dW
+//   tn {32, 256, 800} : GN-LeNet conv2 backward dW as im2col GEMM
+// ---------------------------------------------------------------------------
+
+using GemmFn = void (*)(std::size_t, std::size_t, std::size_t,
+                        std::span<const float>, std::span<const float>,
+                        std::span<float>, float);
+
+template <GemmFn kGemm>
+void BM_GemmShape(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  std::vector<float> a(m * k), b(k * n);  // same extent for every layout
+  std::vector<float> c(m * n);
+  util::Rng rng(12);
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    kGemm(m, k, n, a, b, c, 0.0f);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * k * n));
+}
+
+void GemmNTShapes(benchmark::internal::Benchmark* bench) {
+  bench->Args({16, 3136, 512})->Args({16, 64, 32});
+}
+void GemmNNShapes(benchmark::internal::Benchmark* bench) {
+  bench->Args({16, 512, 3136})->Args({32, 800, 256});
+}
+void GemmTNShapes(benchmark::internal::Benchmark* bench) {
+  bench->Args({512, 16, 3136})->Args({32, 256, 800});
+}
+
+BENCHMARK(BM_GemmShape<tensor::gemm_nt>)
+    ->Name("BM_GemmNTBlocked")
+    ->Apply(GemmNTShapes);
+BENCHMARK(BM_GemmShape<tensor::gemm_nt_ref>)
+    ->Name("BM_GemmNTRef")
+    ->Apply(GemmNTShapes);
+BENCHMARK(BM_GemmShape<tensor::gemm_nn>)
+    ->Name("BM_GemmNNBlocked")
+    ->Apply(GemmNNShapes);
+BENCHMARK(BM_GemmShape<tensor::gemm_nn_ref>)
+    ->Name("BM_GemmNNRef")
+    ->Apply(GemmNNShapes);
+BENCHMARK(BM_GemmShape<tensor::gemm_tn>)
+    ->Name("BM_GemmTNBlocked")
+    ->Apply(GemmTNShapes);
+BENCHMARK(BM_GemmShape<tensor::gemm_tn_ref>)
+    ->Name("BM_GemmTNRef")
+    ->Apply(GemmTNShapes);
+
+// ---------------------------------------------------------------------------
+// Conv2d forward/backward: im2col + GEMM vs the retained direct loop, on
+// GN-LeNet conv2 (32->32, 5x5, pad 2, 16x16 input; arg is the batch).
+// Runs under --quick for the CI bench gate.
+// ---------------------------------------------------------------------------
+
+struct ConvBench {
+  nn::Conv2d conv{32, 32, 5, 1, 2};
+  tensor::Tensor input;
+  tensor::Tensor output;
+  tensor::Tensor grad_out;
+  tensor::Tensor grad_in;
+
+  explicit ConvBench(std::size_t batch, nn::Conv2dAlgo algo)
+      : input({batch, 32, 16, 16}) {
+    conv.set_algorithm(algo);
+    util::Rng rng(13);
+    rng.fill_normal(conv.parameters(), 0.0f, 0.5f);
+    rng.fill_normal(input.data(), 0.0f, 1.0f);
+    const auto out_shape = conv.output_shape(input.shape());
+    output = tensor::Tensor(out_shape);
+    grad_out = tensor::Tensor(out_shape);
+    grad_in = tensor::Tensor(input.shape());
+    rng.fill_normal(grad_out.data(), 0.0f, 1.0f);
+    conv.forward(input, output);
+  }
+};
+
+void BM_Conv2dFwd(benchmark::State& state) {
+  ConvBench bench(static_cast<std::size_t>(state.range(0)),
+                  static_cast<nn::Conv2dAlgo>(state.range(1)));
+  for (auto _ : state) {
+    bench.conv.forward(bench.input, bench.output);
+    benchmark::DoNotOptimize(bench.output.raw());
+  }
+  state.SetLabel(state.range(1) == 1 ? "direct" : "im2col");
+}
+
+void BM_Conv2dBwd(benchmark::State& state) {
+  ConvBench bench(static_cast<std::size_t>(state.range(0)),
+                  static_cast<nn::Conv2dAlgo>(state.range(1)));
+  for (auto _ : state) {
+    bench.conv.zero_grad();
+    bench.conv.backward(bench.input, bench.grad_out, bench.grad_in);
+    benchmark::DoNotOptimize(bench.grad_in.raw());
+  }
+  state.SetLabel(state.range(1) == 1 ? "direct" : "im2col");
+}
+
+void ConvAlgoGrid(benchmark::internal::Benchmark* bench) {
+  bench->Args({8, static_cast<std::int64_t>(nn::Conv2dAlgo::kIm2col)})
+      ->Args({8, static_cast<std::int64_t>(nn::Conv2dAlgo::kDirect)});
+}
+BENCHMARK(BM_Conv2dFwd)->Apply(ConvAlgoGrid)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conv2dBwd)->Apply(ConvAlgoGrid)->Unit(benchmark::kMillisecond);
 
 void BM_AggregationStep(benchmark::State& state) {
   // One node's Metropolis-Hastings aggregation over `degree` neighbors
@@ -397,7 +519,7 @@ int main(int argc, char** argv) {
   }
   if (quick) {
     args.insert(args.begin() + 1,
-                "--benchmark_filter=BM_Aggregate|BM_Codec|BM_Checkpoint");
+                "--benchmark_filter=BM_Aggregate|BM_Codec|BM_Checkpoint|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d");
     args.insert(args.begin() + 1, "--benchmark_min_time=0.05");
   }
   const bool has_out =

@@ -32,6 +32,7 @@
 #include "metrics/consensus.hpp"
 #include "metrics/evaluator.hpp"
 #include "metrics/recorder.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/gradcheck.hpp"
 #include "nn/init.hpp"
 #include "nn/loss.hpp"
@@ -45,6 +46,7 @@
 #include "sim/node.hpp"
 #include "sim/runner.hpp"
 #include "sweep/sweep.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "util/cli.hpp"

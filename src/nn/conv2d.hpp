@@ -1,13 +1,39 @@
-// 2-D convolution over [B, C, H, W] tensors (direct algorithm, suitable for
-// the small CNNs the paper trains). Supports stride and symmetric zero
-// padding. Weights are stored [out_c, in_c, kh, kw] followed by bias[out_c].
+// 2-D convolution over [B, C, H, W] tensors. Supports stride and symmetric
+// zero padding. Weights are stored [out_c, in_c, kh, kw] followed by
+// bias[out_c].
+//
+// Two algorithms compute identical results:
+//   * kDirect — the seed seven-deep loop nest, retained as the reference
+//     (forward_direct / backward_direct).
+//   * kIm2col (default) — forward and the weight gradient are lowered to
+//     the blocked GEMM kernels over patch matrices whose k-dimension is
+//     ordered (ic, ky, kx), i.e. the direct loop's accumulation order; the
+//     input gradient runs the direct loop nest with hoisted bounds. A
+//     per-layer scratch arena holds the patch matrices, so steady-state
+//     batches allocate nothing.
+//
+// Bit-identity contract: for inputs free of ±Inf/NaN where no parameter
+// or accumulator is an exact (signed) zero at a divergence point, im2col
+// results equal the direct loops bit for bit — the only op-sequence
+// differences are `acc += w * 0` terms for padding slots the direct loop
+// skips (exact for any nonzero finite accumulator) and the GEMM's
+// skip-zero-multiplier branch (a zero weight or gradient contributes not
+// even a sign flip). tests/test_conv_im2col.cpp enforces this bitwise on
+// fuzzed shapes, including zero-heavy gradients.
 #pragma once
 
 #include <vector>
 
+#include "nn/im2col.hpp"
 #include "nn/layer.hpp"
 
 namespace skiptrain::nn {
+
+enum class Conv2dAlgo {
+  kAuto,    // currently: im2col
+  kDirect,  // seed loop nest (verification oracle)
+  kIm2col,  // GEMM-lowered
+};
 
 class Conv2d final : public ParamLayer {
  public:
@@ -27,14 +53,35 @@ class Conv2d final : public ParamLayer {
   std::size_t out_channels() const { return out_c_; }
   std::size_t kernel_size() const { return k_; }
 
+  void set_algorithm(Conv2dAlgo algo) { algo_ = algo; }
+  Conv2dAlgo algorithm() const { return algo_; }
+
+  /// Seed direct loops, kept as the verification reference.
+  void forward_direct(const Tensor& input, Tensor& output);
+  void backward_direct(const Tensor& input, const Tensor& grad_output,
+                       Tensor& grad_input);
+
  private:
   std::size_t spatial_out(std::size_t in) const;
+  ConvGeometry geometry(std::size_t h, std::size_t w) const;
+
+  void forward_im2col(const Tensor& input, Tensor& output);
+  void backward_im2col(const Tensor& input, const Tensor& grad_output,
+                       Tensor& grad_input);
 
   std::size_t in_c_;
   std::size_t out_c_;
   std::size_t k_;
   std::size_t stride_;
   std::size_t pad_;
+  Conv2dAlgo algo_ = Conv2dAlgo::kAuto;
+
+  // Per-layer scratch (each simulated node owns its model clone, so no
+  // cross-thread sharing): patch matrices and the transposed gradient
+  // plane, grown once and reused across batch images and rounds.
+  std::vector<float> col_;     // [patch x out_hw]   (forward)
+  std::vector<float> colr_;    // [out_hw x patch]   (backward dW)
+  std::vector<float> gout_t_;  // [out_hw x out_c]   (backward dW)
   // ParamLayer::params_ holds the weights then the bias.
 };
 

@@ -1,0 +1,65 @@
+// Patch-matrix (im2col / im2row) lowering for Conv2d.
+//
+// The convolution's k-dimension is the patch index κ = (ic*k + ky)*k + kx,
+// ordered (ic, ky, kx) — exactly the direct loop's accumulation order —
+// so running the lowered GEMM with the repo's order-preserving kernels
+// reproduces the direct convolution bitwise (see conv2d.hpp for the exact
+// contract). Out-of-bounds (padding) slots are stored as 0.0f.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace skiptrain::nn {
+
+/// Clipped kernel-offset range for one output position: the ko in
+/// [lo, hi) with 0 <= base + ko < in_extent, where base = o*stride - pad.
+/// Shared by the patch builders and the input-gradient kernel so the
+/// direct and lowered paths clip identically.
+struct KernelRange {
+  std::size_t lo;
+  std::size_t hi;  // exclusive; lo >= hi means no valid offset
+};
+
+[[nodiscard]] inline KernelRange clipped_kernel_range(std::size_t k,
+                                                      std::size_t in_extent,
+                                                      std::ptrdiff_t base) {
+  const std::size_t lo =
+      base < 0 ? static_cast<std::size_t>(-base) : std::size_t{0};
+  const auto room = static_cast<std::size_t>(
+      std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(in_extent) -
+                                      base));
+  return {lo, std::min(k, room)};
+}
+
+/// Geometry of one conv application on an h x w input image.
+struct ConvGeometry {
+  std::size_t in_c = 0;
+  std::size_t h = 0;
+  std::size_t w = 0;
+  std::size_t k = 0;       // kernel size
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  std::size_t oh = 0;
+  std::size_t ow = 0;
+
+  /// im2col k-dimension: in_c * k * k.
+  [[nodiscard]] std::size_t patch() const { return in_c * k * k; }
+  /// Output positions per channel plane.
+  [[nodiscard]] std::size_t out_hw() const { return oh * ow; }
+};
+
+/// col[κ][pos] (patch-major, [patch() x out_hw()]): the forward GEMM's B
+/// operand. Interior segments are copied contiguously; padding is zeroed.
+void im2col_kmajor(const ConvGeometry& g, const float* image, float* col);
+
+/// colr[pos][κ] (position-major, [out_hw() x patch()]): the dW GEMM's B
+/// operand (gemm_tn wants the shared dimension — output positions —
+/// outermost).
+void im2row_posmajor(const ConvGeometry& g, const float* image, float* colr);
+
+/// dst[j][i] = src[i][j] for row-major src of shape [rows x cols].
+void transpose(std::size_t rows, std::size_t cols, const float* src,
+               float* dst);
+
+}  // namespace skiptrain::nn

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "quant/kernels.hpp"
+
 namespace skiptrain::quant {
 
 const char* codec_name(Codec codec) {
@@ -143,25 +145,8 @@ std::size_t QuantizedRow::wire_bytes() const {
 
 namespace {
 
-/// Stateless uniform in [0,1) from (stream, coordinate): one SplitMix64
-/// finalizer over a Weyl-advanced state. Every node with the same seed and
-/// round regenerates the identical dither — the round-shared RNG.
-float dither_uniform(std::uint64_t stream, std::uint64_t coordinate) {
-  std::uint64_t z = stream + coordinate * 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<float>(z >> 40) * 0x1.0p-24f;
-}
-
-std::uint64_t dither_stream(std::uint64_t seed, std::size_t round) {
-  // SplitMix64 over (seed ^ round-tag): cheap, and the per-coordinate Weyl
-  // walk above decorrelates rounds with nearby ids.
-  std::uint64_t z = seed ^ (0xd1770000ULL + round);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+// The dither stream helpers (dither_stream / dither_uniform) live in
+// quant/kernels.hpp now, shared with the vectorized batch kernels.
 
 void check_decode_shapes(const QuantizedRow& in, std::span<float> out,
                          Codec expected) {
@@ -189,20 +174,6 @@ class IdentityCodec final : public RowCodec {
   }
 };
 
-/// Wire variant of fp16_from_float: values that would map to ±Inf
-/// (finite overflow or a genuinely infinite parameter) saturate to the
-/// largest finite half instead. An Inf on the wire would turn the
-/// receiver-side aggregation — and the sender's exact-self correction,
-/// Inf − Inf — into NaN and poison the whole fleet; NaN inputs are kept
-/// (they signal a run that is already broken).
-std::uint16_t fp16_wire(float value) {
-  const std::uint16_t half = fp16_from_float(value);
-  if ((half & 0x7fffu) == 0x7c00u) {  // ±Inf
-    return static_cast<std::uint16_t>((half & 0x8000u) | 0x7bffu);
-  }
-  return half;
-}
-
 class Fp16Codec final : public RowCodec {
  public:
   Codec kind() const override { return Codec::kFp16; }
@@ -211,22 +182,23 @@ class Fp16Codec final : public RowCodec {
     out.codec = Codec::kFp16;
     out.dim = row.size();
     out.half.resize(row.size());
-    for (std::size_t i = 0; i < row.size(); ++i) {
-      out.half[i] = fp16_wire(row[i]);
-    }
+    // Vectorized wire conversion (±Inf saturates to the largest finite
+    // half — see fp16_wire_from_float), bit-identical to the scalar path.
+    fp16_encode_wire(row, out.half.data());
   }
 
   void decode(const QuantizedRow& in, std::span<float> out) const override {
     check_decode_shapes(in, out, Codec::kFp16);
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      out[i] = fp16_to_float(in.half[i]);
-    }
+    fp16_decode(in.half.data(), out);
   }
 };
 
 /// Shared skeleton of the two int8 variants: per-block affine range
 /// [lo, lo + 255·scale], codes in [0, 255]. A constant block encodes with
-/// scale = 0 and decodes exactly to lo.
+/// scale = 0 and decodes exactly to lo. The per-block batch kernels live
+/// in quant/kernels.cpp; kInt8Dithered applies subtractive dither
+/// (q = floor(t + u), x̂ = q + 0.5 − u), whose error is uniform in
+/// (−0.5, 0.5] and independent of the signal, unlike nearest rounding.
 class Int8CodecBase : public RowCodec {
  public:
   void encode(std::span<const float> row, QuantizedRow& out) const override {
@@ -238,44 +210,27 @@ class Int8CodecBase : public RowCodec {
     out.codes.resize(row.size());
     out.block_lo.resize(blocks);
     out.block_scale.resize(blocks);
-    const std::uint64_t stream = dither_stream(seed_, round_);
-    for (std::size_t b = 0; b < blocks; ++b) {
-      const std::size_t begin = b * kInt8BlockValues;
-      const std::size_t end = std::min(begin + kInt8BlockValues, row.size());
-      float lo = row[begin];
-      float hi = row[begin];
-      for (std::size_t i = begin + 1; i < end; ++i) {
-        lo = std::min(lo, row[i]);
-        hi = std::max(hi, row[i]);
-      }
-      const float scale = (hi - lo) / 255.0f;
-      out.block_lo[b] = lo;
-      out.block_scale[b] = scale;
-      if (scale <= 0.0f) {
-        std::fill(out.codes.begin() + static_cast<std::ptrdiff_t>(begin),
-                  out.codes.begin() + static_cast<std::ptrdiff_t>(end),
-                  std::uint8_t{0});
-        continue;
-      }
-      const float inv_scale = 1.0f / scale;
-      for (std::size_t i = begin; i < end; ++i) {
-        const float t = (row[i] - lo) * inv_scale;
-        out.codes[i] = quantize(t, stream, i);
-      }
+    if (row.empty()) return;
+    if (kind() == Codec::kInt8Dithered) {
+      int8_encode_dithered(row, dither_stream(seed_, round_),
+                           out.codes.data(), out.block_lo.data(),
+                           out.block_scale.data());
+    } else {
+      int8_encode(row, out.codes.data(), out.block_lo.data(),
+                  out.block_scale.data());
     }
   }
 
   void decode(const QuantizedRow& in, std::span<float> out) const override {
     check_decode_shapes(in, out, kind());
-    const std::uint64_t stream = dither_stream(seed_, in.round);
-    for (std::size_t b = 0; b < in.num_blocks(); ++b) {
-      const std::size_t begin = b * kInt8BlockValues;
-      const std::size_t end = std::min(begin + kInt8BlockValues, in.dim);
-      const float lo = in.block_lo[b];
-      const float scale = in.block_scale[b];
-      for (std::size_t i = begin; i < end; ++i) {
-        out[i] = lo + scale * dequantize(in.codes[i], stream, i);
-      }
+    if (in.dim == 0) return;
+    if (kind() == Codec::kInt8Dithered) {
+      int8_decode_dithered(in.dim, in.codes.data(), in.block_lo.data(),
+                           in.block_scale.data(),
+                           dither_stream(seed_, in.round), out.data());
+    } else {
+      int8_decode(in.dim, in.codes.data(), in.block_lo.data(),
+                  in.block_scale.data(), out.data());
     }
   }
 
@@ -283,14 +238,6 @@ class Int8CodecBase : public RowCodec {
 
  protected:
   explicit Int8CodecBase(std::uint64_t seed) : seed_(seed) {}
-
-  /// Code for normalized value t in [0, 255].
-  virtual std::uint8_t quantize(float t, std::uint64_t stream,
-                                std::size_t coordinate) const = 0;
-
-  /// Normalized reconstruction point of a code.
-  virtual float dequantize(std::uint8_t code, std::uint64_t stream,
-                           std::size_t coordinate) const = 0;
 
  private:
   std::uint64_t seed_;
@@ -301,42 +248,12 @@ class Int8Codec final : public Int8CodecBase {
  public:
   explicit Int8Codec(std::uint64_t seed) : Int8CodecBase(seed) {}
   Codec kind() const override { return Codec::kInt8; }
-
- protected:
-  std::uint8_t quantize(float t, std::uint64_t, std::size_t) const override {
-    // Nearest code; t is in [0, 255] by construction, so no clamping error.
-    return static_cast<std::uint8_t>(
-        std::min(255L, std::max(0L, std::lroundf(t))));
-  }
-
-  float dequantize(std::uint8_t code, std::uint64_t,
-                   std::size_t) const override {
-    return static_cast<float>(code);
-  }
 };
 
 class Int8DitheredCodec final : public Int8CodecBase {
  public:
   explicit Int8DitheredCodec(std::uint64_t seed) : Int8CodecBase(seed) {}
   Codec kind() const override { return Codec::kInt8Dithered; }
-
- protected:
-  // Subtractive dither: q = floor(t + u), x̂ = q + 0.5 − u (both in
-  // normalized units). The error (q + 0.5 − u) − t lies in (−0.5, 0.5]
-  // for ANY t, is uniform, and is independent of the signal — unlike
-  // nearest rounding, which correlates the error with the value.
-  std::uint8_t quantize(float t, std::uint64_t stream,
-                        std::size_t coordinate) const override {
-    const float u = dither_uniform(stream, coordinate);
-    return static_cast<std::uint8_t>(
-        std::min(255.0f, std::max(0.0f, std::floor(t + u))));
-  }
-
-  float dequantize(std::uint8_t code, std::uint64_t stream,
-                   std::size_t coordinate) const override {
-    const float u = dither_uniform(stream, coordinate);
-    return static_cast<float>(code) + 0.5f - u;
-  }
 };
 
 }  // namespace

@@ -1,0 +1,535 @@
+// Blocked, packed GEMM kernels (see gemm.hpp for the bit-identity
+// contract). The public gemm_nn/gemm_nt/gemm_tn entry points of
+// tensor/ops.hpp dispatch between the seed reference loops (tiny shapes,
+// degenerate dims) and the blocked kernels below; both produce bitwise
+// identical C, so the dispatch threshold is a pure performance knob.
+//
+// Kernel structure: B panels and A blocks are both repacked into
+// register-tile-wide slivers (kNR and kMR contiguous strips per k step),
+// so the microkernel inner loops are pure unit-stride vector code. The
+// reference loops' skip-zero-multiplier branch is honored by scanning
+// each A sliver for zeros while packing it: zero-free slivers (the common
+// case — model parameters and activations are continuous values) run a
+// branch-free microkernel, slivers holding zeros (e.g. post-ReLU
+// gradients in gemm_tn) run a blend microkernel whose
+// `acc = av == 0 ? acc : acc + av*b` select reproduces the skip bitwise.
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace skiptrain::tensor {
+
+// ---------------------------------------------------------------------------
+// Reference kernels — the seed loops, verbatim.
+// ---------------------------------------------------------------------------
+
+void gemm_nn_ref(std::size_t m, std::size_t k, std::size_t n,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c, float beta) {
+  assert(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n);
+  // i-k-j loop order: the inner loop streams both B's row and C's row,
+  // which vectorises well and is cache-friendly for row-major storage.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* __restrict__ ci = c.data() + i * n;
+    if (beta == 0.0f) {
+      std::fill(ci, ci + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    const float* __restrict__ ai = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* __restrict__ bp = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_nt_ref(std::size_t m, std::size_t k, std::size_t n,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c, float beta) {
+  assert(a.size() >= m * k && b.size() >= n * k && c.size() >= m * n);
+  // C[i,j] = <A_row_i, B_row_j>: both operands stream contiguously.
+  // BLAS semantics: C must not be read when beta == 0 — it may be
+  // uninitialized or NaN-poisoned, and NaN * 0 is NaN, so the scale-by-beta
+  // form is hoisted into an explicit branch.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* __restrict__ ai = a.data() + i * k;
+    float* __restrict__ ci = c.data() + i * n;
+    if (beta == 0.0f) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* __restrict__ bj = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] = acc;
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* __restrict__ bj = b.data() + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+        ci[j] = beta * ci[j] + acc;
+      }
+    }
+  }
+}
+
+void gemm_tn_ref(std::size_t m, std::size_t k, std::size_t n,
+                 std::span<const float> a, std::span<const float> b,
+                 std::span<float> c, float beta) {
+  assert(a.size() >= k * m && b.size() >= k * n && c.size() >= m * n);
+  if (beta == 0.0f) {
+    std::fill(c.begin(), c.begin() + static_cast<std::ptrdiff_t>(m * n), 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  // C[i,j] += A[p,i] * B[p,j]: accumulate outer products row-by-row of the
+  // shared dimension; inner loop is contiguous over B and C.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* __restrict__ ap = a.data() + p * m;
+    const float* __restrict__ bp = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float api = ap[i];
+      if (api == 0.0f) continue;
+      float* __restrict__ ci = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tuning
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Register tile sized for the baseline x86-64 (SSE2) target the repo
+// builds for: 4x8 accumulators = 8 vector registers, leaving half the
+// register file for panel loads and broadcasts.
+constexpr std::size_t kMR = 4;  // microkernel register-tile rows
+constexpr std::size_t kNR = 8;  // microkernel register-tile columns
+
+GemmTuning derive_tuning() {
+  GemmTuning t{};
+  t.l1d_bytes = 32 * 1024;
+  t.l2_bytes = 1024 * 1024;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  if (const long l1 = sysconf(_SC_LEVEL1_DCACHE_SIZE); l1 > 0) {
+    t.l1d_bytes = static_cast<std::size_t>(l1);
+  }
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  if (const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE); l2 > 0) {
+    t.l2_bytes = static_cast<std::size_t>(l2);
+  }
+#endif
+  // One kc x kNR sliver of the packed B panel should occupy about a third
+  // of L1d so it stays hot while the microkernel walks an A row block.
+  const std::size_t kc_raw = t.l1d_bytes / (3 * sizeof(float) * kNR);
+  t.kc = std::clamp<std::size_t>(kc_raw & ~std::size_t{7}, 64, 512);
+  // The packed mc x kc block of A should fill about half of L2.
+  const std::size_t mc_raw = t.l2_bytes / (2 * sizeof(float) * t.kc);
+  t.mc = std::clamp<std::size_t>(mc_raw & ~(kMR - 1), kMR, 1024);
+  t.nc = 256;
+  return t;
+}
+
+/// 64-byte-aligned grow-only scratch for packed panels (per thread: the
+/// engines run GEMMs from pool workers, never nested).
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  ~AlignedBuffer() { std::free(ptr_); }
+
+  float* ensure(std::size_t count) {
+    if (count > cap_) {
+      // Drop the old buffer AND its capacity before reallocating: if the
+      // allocation throws, a later smaller request must not think the
+      // freed buffer is still usable.
+      std::free(ptr_);
+      ptr_ = nullptr;
+      cap_ = 0;
+      const std::size_t bytes = ((count * sizeof(float) + 63) / 64) * 64;
+      ptr_ = static_cast<float*>(std::aligned_alloc(64, bytes));
+      if (ptr_ == nullptr) throw std::bad_alloc();
+      cap_ = count;
+    }
+    return ptr_;
+  }
+
+ private:
+  float* ptr_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
+struct PackScratch {
+  AlignedBuffer a;                     // packed A slivers
+  AlignedBuffer b;                     // packed B slivers
+  std::vector<std::uint8_t> a_zeros;   // per-A-sliver "contains a zero" flag
+};
+
+thread_local PackScratch t_scratch;
+
+// ---------------------------------------------------------------------------
+// Panel packing
+//
+// B panels: sliver s holds rows p of columns [j0, j0 + kNR) back to back
+// (dst[s * depth * kNR + p * kNR + jj]), so the microkernel's per-p load
+// is one contiguous strip. A blocks: sliver s holds the kMR rows
+// [i0, i0 + kMR) interleaved per p (dst[s * depth * kMR + p * kMR + r]),
+// so the per-p multiplier loads are contiguous too. Edge slivers pack
+// only their live lanes; the microkernels never read past mr/nr.
+// ---------------------------------------------------------------------------
+
+/// Packs `depth` rows x nc columns of row-major storage starting at src
+/// (row stride ld) into kNR-column slivers.
+void pack_b_slivers(const float* __restrict__ src, std::size_t ld,
+                    std::size_t depth, std::size_t nc,
+                    float* __restrict__ dst) {
+  for (std::size_t j0 = 0; j0 < nc; j0 += kNR) {
+    const std::size_t w = std::min(kNR, nc - j0);
+    float* __restrict__ out = dst + (j0 / kNR) * depth * kNR;
+    const float* __restrict__ in = src + j0;
+    if (w == kNR) {
+      for (std::size_t p = 0; p < depth; ++p) {
+        std::memcpy(out + p * kNR, in + p * ld, kNR * sizeof(float));
+      }
+    } else {
+      for (std::size_t p = 0; p < depth; ++p) {
+        std::memcpy(out + p * kNR, in + p * ld, w * sizeof(float));
+      }
+    }
+  }
+}
+
+/// Packs A[ic..ic+mc, pc..pc+kc] of a row-major [m, k] matrix (lda == k)
+/// into kMR-row slivers, recording per sliver whether it holds any exact
+/// zero (selects the skip-preserving microkernel).
+void pack_a_rows(const float* __restrict__ a, std::size_t lda, std::size_t ic,
+                 std::size_t pc, std::size_t mc, std::size_t kc,
+                 float* __restrict__ dst, std::uint8_t* __restrict__ zeros) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += kMR) {
+    const std::size_t w = std::min(kMR, mc - i0);
+    float* __restrict__ out = dst + (i0 / kMR) * kc * kMR;
+    bool any_zero = false;
+    for (std::size_t r = 0; r < w; ++r) {
+      const float* __restrict__ src = a + (ic + i0 + r) * lda + pc;
+      float* __restrict__ o = out + r;
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float v = src[p];
+        o[p * kMR] = v;
+        any_zero |= (v == 0.0f);
+      }
+    }
+    zeros[i0 / kMR] = any_zero ? 1 : 0;
+  }
+}
+
+/// Packs A[pc..pc+kc, ic..ic+mc] of a row-major [k, m] matrix (lda == m —
+/// the gemm_tn layout) into kMR-row slivers with zero flags.
+void pack_a_cols(const float* __restrict__ a, std::size_t lda, std::size_t ic,
+                 std::size_t pc, std::size_t mc, std::size_t kc,
+                 float* __restrict__ dst, std::uint8_t* __restrict__ zeros) {
+  for (std::size_t i0 = 0; i0 < mc; i0 += kMR) {
+    const std::size_t w = std::min(kMR, mc - i0);
+    float* __restrict__ out = dst + (i0 / kMR) * kc * kMR;
+    bool any_zero = false;
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* __restrict__ src = a + (pc + p) * lda + ic + i0;
+      float* __restrict__ o = out + p * kMR;
+      for (std::size_t r = 0; r < w; ++r) {
+        const float v = src[r];
+        o[r] = v;
+        any_zero |= (v == 0.0f);
+      }
+    }
+    zeros[i0 / kMR] = any_zero ? 1 : 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Microkernels. All operands are packed slivers: A row p at ap + p * kMR,
+// B row p at bp + p * kNR.
+// ---------------------------------------------------------------------------
+
+template <bool kFull>
+void load_c_tile(float (&acc)[kMR][kNR], std::size_t mr, std::size_t nr,
+                 const float* __restrict__ c, std::size_t ldc, float beta,
+                 bool first_block) {
+  const std::size_t rows = kFull ? kMR : mr;
+  const std::size_t cols = kFull ? kNR : nr;
+  if (!first_block || beta == 1.0f) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < cols; ++j) acc[r][j] = c[r * ldc + j];
+    }
+  } else if (beta == 0.0f) {
+    // Write-only C: never read (it may be uninitialized or NaN-poisoned).
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < cols; ++j) acc[r][j] = 0.0f;
+    }
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < cols; ++j) acc[r][j] = c[r * ldc + j] * beta;
+    }
+  }
+}
+
+template <bool kFull>
+void store_c_tile(const float (&acc)[kMR][kNR], std::size_t mr, std::size_t nr,
+                  float* __restrict__ c, std::size_t ldc) {
+  const std::size_t rows = kFull ? kMR : mr;
+  const std::size_t cols = kFull ? kNR : nr;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < cols; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+/// C-accumulating tile for gemm_nn / gemm_tn, zero-free A sliver: the
+/// reference skip branch can never fire, so the plain fused loop is
+/// bitwise identical and fully vectorizable.
+void micro_cacc_fast(std::size_t kc, const float* __restrict__ ap,
+                     const float* __restrict__ bp, float* __restrict__ c,
+                     std::size_t ldc, float beta, bool first_block) {
+  float acc[kMR][kNR];
+  load_c_tile<true>(acc, kMR, kNR, c, ldc, beta, first_block);
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict__ arow = ap + p * kMR;
+    const float* __restrict__ brow = bp + p * kNR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float av = arow[r];
+      for (std::size_t j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  store_c_tile<true>(acc, kMR, kNR, c, ldc);
+}
+
+/// C-accumulating tile for A slivers that DO hold zeros (and for edge
+/// tiles): the select keeps the old accumulator when av == 0, which is
+/// bitwise the reference's skip (an av of exactly zero contributes not
+/// even a sign flip), and if-converts to a vector blend.
+template <bool kFull>
+void micro_cacc_guard(std::size_t mr, std::size_t nr, std::size_t kc,
+                      const float* __restrict__ ap,
+                      const float* __restrict__ bp, float* __restrict__ c,
+                      std::size_t ldc, float beta, bool first_block) {
+  const std::size_t rows = kFull ? kMR : mr;
+  const std::size_t cols = kFull ? kNR : nr;
+  float acc[kMR][kNR];
+  load_c_tile<kFull>(acc, mr, nr, c, ldc, beta, first_block);
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* __restrict__ arow = ap + p * kMR;
+    const float* __restrict__ brow = bp + p * kNR;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float av = arow[r];
+      for (std::size_t j = 0; j < cols; ++j) {
+        acc[r][j] = (av == 0.0f) ? acc[r][j] : acc[r][j] + av * brow[j];
+      }
+    }
+  }
+  store_c_tile<kFull>(acc, mr, nr, c, ldc);
+}
+
+/// Register tile for gemm_nt: fresh dot accumulators over the whole k
+/// extent (p ascending — the reference op sequence), combined with beta
+/// only at the end. No zero skip: the reference dot loop has none.
+template <bool kFull>
+void micro_nt(std::size_t mr, std::size_t nr, std::size_t k,
+              const float* __restrict__ ap, const float* __restrict__ bp,
+              float* __restrict__ c, std::size_t ldc, float beta) {
+  const std::size_t rows = kFull ? kMR : mr;
+  const std::size_t cols = kFull ? kNR : nr;
+  float acc[kMR][kNR] = {};
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* __restrict__ arow = ap + p * kMR;
+    const float* __restrict__ brow = bp + p * kNR;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float av = arow[r];
+      for (std::size_t j = 0; j < cols; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+  if (beta == 0.0f) {
+    store_c_tile<kFull>(acc, mr, nr, c, ldc);
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        c[r * ldc + j] = beta * c[r * ldc + j] + acc[r][j];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked drivers
+// ---------------------------------------------------------------------------
+
+/// Shared driver for the two C-accumulating variants; PackA packs the
+/// (ic, pc, mc, kc) block of A into slivers + zero flags.
+template <typename PackA>
+void gemm_cacc_blocked(std::size_t m, std::size_t k, std::size_t n,
+                       std::span<const float> b, std::span<float> c,
+                       float beta, PackA&& pack_a) {
+  const GemmTuning& tun = gemm_tuning();
+  float* bp = t_scratch.b.ensure(tun.kc * (tun.nc + kNR));
+  float* ap = t_scratch.a.ensure(tun.kc * (tun.mc + kMR));
+  t_scratch.a_zeros.resize(tun.mc / kMR + 1);
+  std::uint8_t* zeros = t_scratch.a_zeros.data();
+  for (std::size_t jc = 0; jc < n; jc += tun.nc) {
+    const std::size_t nc = std::min(tun.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += tun.kc) {
+      const std::size_t kc = std::min(tun.kc, k - pc);
+      const bool first = pc == 0;
+      pack_b_slivers(b.data() + pc * n + jc, n, kc, nc, bp);
+      for (std::size_t ic = 0; ic < m; ic += tun.mc) {
+        const std::size_t mc = std::min(tun.mc, m - ic);
+        pack_a(ic, pc, mc, kc, ap, zeros);
+        for (std::size_t i0 = 0; i0 < mc; i0 += kMR) {
+          const std::size_t mr = std::min(kMR, mc - i0);
+          const float* asliver = ap + (i0 / kMR) * kc * kMR;
+          const bool has_zero = zeros[i0 / kMR] != 0;
+          float* crow = c.data() + (ic + i0) * n + jc;
+          for (std::size_t j0 = 0; j0 < nc; j0 += kNR) {
+            const std::size_t nr = std::min(kNR, nc - j0);
+            const float* bsliver = bp + (j0 / kNR) * kc * kNR;
+            if (mr == kMR && nr == kNR) {
+              if (has_zero) {
+                micro_cacc_guard<true>(kMR, kNR, kc, asliver, bsliver,
+                                       crow + j0, n, beta, first);
+              } else {
+                micro_cacc_fast(kc, asliver, bsliver, crow + j0, n, beta,
+                                first);
+              }
+            } else {
+              micro_cacc_guard<false>(mr, nr, kc, asliver, bsliver, crow + j0,
+                                      n, beta, first);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt_blocked(std::size_t m, std::size_t k, std::size_t n,
+                     std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, float beta) {
+  // The dot accumulators must span the whole k extent (the reference keeps
+  // one register accumulator per element), so k is not blocked; instead
+  // both operands are repacked per panel — B transposed into kNR slivers,
+  // the current kMR rows of A interleaved — with the B panel width chosen
+  // so the pack stays a few MB at most.
+  const std::size_t panel_target = (2u << 20) / sizeof(float);
+  std::size_t nc_max =
+      std::max<std::size_t>(panel_target / std::max<std::size_t>(k, 1), kNR);
+  nc_max = std::min<std::size_t>(nc_max & ~(kNR - 1), 256);
+  float* bt = t_scratch.b.ensure(k * (nc_max + kNR));
+  float* ap = t_scratch.a.ensure(k * kMR);
+  for (std::size_t jc = 0; jc < n; jc += nc_max) {
+    const std::size_t nc = std::min(nc_max, n - jc);
+    // B transpose pack: sliver s row p holds B[jc+s*kNR .. +w][p].
+    for (std::size_t j0 = 0; j0 < nc; j0 += kNR) {
+      const std::size_t w = std::min(kNR, nc - j0);
+      float* __restrict__ out = bt + (j0 / kNR) * k * kNR;
+      for (std::size_t jj = 0; jj < w; ++jj) {
+        const float* __restrict__ brow = b.data() + (jc + j0 + jj) * k;
+        float* __restrict__ o = out + jj;
+        for (std::size_t p = 0; p < k; ++p) o[p * kNR] = brow[p];
+      }
+    }
+    for (std::size_t i0 = 0; i0 < m; i0 += kMR) {
+      const std::size_t mr = std::min(kMR, m - i0);
+      // A transpose pack for this row sliver: arow p = A[i0..i0+mr][p].
+      for (std::size_t r = 0; r < mr; ++r) {
+        const float* __restrict__ src = a.data() + (i0 + r) * k;
+        float* __restrict__ o = ap + r;
+        for (std::size_t p = 0; p < k; ++p) o[p * kMR] = src[p];
+      }
+      float* crow = c.data() + i0 * n + jc;
+      for (std::size_t j0 = 0; j0 < nc; j0 += kNR) {
+        const std::size_t nr = std::min(kNR, nc - j0);
+        const float* bsliver = bt + (j0 / kNR) * k * kNR;
+        if (mr == kMR && nr == kNR) {
+          micro_nt<true>(kMR, kNR, k, ap, bsliver, crow + j0, n, beta);
+        } else {
+          micro_nt<false>(mr, nr, k, ap, bsliver, crow + j0, n, beta);
+        }
+      }
+    }
+  }
+}
+
+/// Below this work volume the packing overhead outweighs the locality win;
+/// both sides are bitwise identical, so the threshold is purely a perf
+/// knob.
+constexpr std::size_t kBlockedMinVolume = 32 * 1024;
+
+}  // namespace
+
+const GemmTuning& gemm_tuning() {
+  static const GemmTuning tuning = derive_tuning();
+  return tuning;
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points (declared in tensor/ops.hpp)
+// ---------------------------------------------------------------------------
+
+void gemm_nn(std::size_t m, std::size_t k, std::size_t n,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float beta) {
+  assert(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n);
+  // k == 0 must still apply beta to C — the reference handles it.
+  if (k == 0 || n < 8 || m * k * n < kBlockedMinVolume) {
+    gemm_nn_ref(m, k, n, a, b, c, beta);
+    return;
+  }
+  gemm_cacc_blocked(
+      m, k, n, b, c, beta,
+      [&a, k](std::size_t ic, std::size_t pc, std::size_t mc, std::size_t kc,
+              float* dst, std::uint8_t* zeros) {
+        pack_a_rows(a.data(), k, ic, pc, mc, kc, dst, zeros);
+      });
+}
+
+void gemm_nt(std::size_t m, std::size_t k, std::size_t n,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float beta) {
+  assert(a.size() >= m * k && b.size() >= n * k && c.size() >= m * n);
+  if (k == 0 || n < 4 || k > 65536 || m * k * n < kBlockedMinVolume) {
+    gemm_nt_ref(m, k, n, a, b, c, beta);
+    return;
+  }
+  gemm_nt_blocked(m, k, n, a, b, c, beta);
+}
+
+void gemm_tn(std::size_t m, std::size_t k, std::size_t n,
+             std::span<const float> a, std::span<const float> b,
+             std::span<float> c, float beta) {
+  assert(a.size() >= k * m && b.size() >= k * n && c.size() >= m * n);
+  if (k == 0 || n < 8 || m * k * n < kBlockedMinVolume) {
+    gemm_tn_ref(m, k, n, a, b, c, beta);
+    return;
+  }
+  gemm_cacc_blocked(
+      m, k, n, b, c, beta,
+      [&a, m](std::size_t ic, std::size_t pc, std::size_t mc, std::size_t kc,
+              float* dst, std::uint8_t* zeros) {
+        pack_a_cols(a.data(), m, ic, pc, mc, kc, dst, zeros);
+      });
+}
+
+}  // namespace skiptrain::tensor

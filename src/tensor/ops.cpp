@@ -86,80 +86,9 @@ double l2_distance(std::span<const float> a, std::span<const float> b) {
   return std::sqrt(acc);
 }
 
-void gemm_nn(std::size_t m, std::size_t k, std::size_t n,
-             std::span<const float> a, std::span<const float> b,
-             std::span<float> c, float beta) {
-  assert(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n);
-  // i-k-j loop order: the inner loop streams both B's row and C's row,
-  // which vectorises well and is cache-friendly for row-major storage.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* __restrict__ ci = c.data() + i * n;
-    if (beta == 0.0f) {
-      std::fill(ci, ci + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
-    }
-    const float* __restrict__ ai = a.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;
-      const float* __restrict__ bp = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-    }
-  }
-}
-
-void gemm_nt(std::size_t m, std::size_t k, std::size_t n,
-             std::span<const float> a, std::span<const float> b,
-             std::span<float> c, float beta) {
-  assert(a.size() >= m * k && b.size() >= n * k && c.size() >= m * n);
-  // C[i,j] = <A_row_i, B_row_j>: both operands stream contiguously.
-  // BLAS semantics: C must not be read when beta == 0 — it may be
-  // uninitialized or NaN-poisoned, and NaN * 0 is NaN, so the scale-by-beta
-  // form is hoisted into an explicit branch.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* __restrict__ ai = a.data() + i * k;
-    float* __restrict__ ci = c.data() + i * n;
-    if (beta == 0.0f) {
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* __restrict__ bj = b.data() + j * k;
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-        ci[j] = acc;
-      }
-    } else {
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* __restrict__ bj = b.data() + j * k;
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-        ci[j] = beta * ci[j] + acc;
-      }
-    }
-  }
-}
-
-void gemm_tn(std::size_t m, std::size_t k, std::size_t n,
-             std::span<const float> a, std::span<const float> b,
-             std::span<float> c, float beta) {
-  assert(a.size() >= k * m && b.size() >= k * n && c.size() >= m * n);
-  if (beta == 0.0f) {
-    std::fill(c.begin(), c.begin() + static_cast<std::ptrdiff_t>(m * n), 0.0f);
-  } else if (beta != 1.0f) {
-    for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
-  }
-  // C[i,j] += A[p,i] * B[p,j]: accumulate outer products row-by-row of the
-  // shared dimension; inner loop is contiguous over B and C.
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* __restrict__ ap = a.data() + p * m;
-    const float* __restrict__ bp = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float api = ap[i];
-      if (api == 0.0f) continue;
-      float* __restrict__ ci = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
-    }
-  }
-}
+// gemm_nn / gemm_nt / gemm_tn are implemented in tensor/gemm.cpp: blocked,
+// packing kernels dispatching against the retained seed loops (gemm_*_ref
+// in tensor/gemm.hpp), bitwise identical to them on every input.
 
 void softmax_rows(std::size_t rows, std::size_t cols, std::span<float> x) {
   assert(x.size() >= rows * cols);

@@ -57,6 +57,10 @@ void subtract(std::span<const float> a, std::span<const float> b,
 
 // ---------------------------------------------------------------------------
 // Level-3: matrix multiplication
+//
+// Implemented as cache-blocked, packing kernels (tensor/gemm.cpp) that are
+// bitwise identical to the seed triple loops, which tensor/gemm.hpp
+// retains as gemm_*_ref verification oracles.
 // ---------------------------------------------------------------------------
 
 /// C[m,n] = A[m,k] * B[k,n] + beta * C

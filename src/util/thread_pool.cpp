@@ -93,16 +93,18 @@ bool ThreadPool::on_worker_thread() const {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
-  parallel_for_chunks(begin, end,
-                      [&fn, grain](std::size_t lo, std::size_t hi) {
-                        (void)grain;
-                        for (std::size_t i = lo; i < hi; ++i) fn(i);
-                      });
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
 }
 
 void ThreadPool::parallel_for_chunks(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t min_per_chunk) {
   if (begin >= end) return;
   const std::size_t count = end - begin;
   // Serial fallbacks: trivial ranges, or re-entrant calls from a worker.
@@ -110,7 +112,13 @@ void ThreadPool::parallel_for_chunks(
     fn(begin, end);
     return;
   }
-  const std::size_t num_chunks = std::min(count, workers_.size());
+  // Chunk so every chunk carries at least min_per_chunk indices (grain):
+  // cheap bodies get fewer, larger chunks instead of paying per-chunk
+  // queue dispatch.
+  const std::size_t max_chunks =
+      std::max<std::size_t>(1, count / std::max<std::size_t>(1, min_per_chunk));
+  const std::size_t num_chunks =
+      std::min({count, workers_.size(), max_chunks});
   const std::size_t base = count / num_chunks;
   const std::size_t remainder = count % num_chunks;
 

@@ -9,12 +9,14 @@
 // worker) without risking deadlock on a bounded pool.
 #pragma once
 
+#include <concepts>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace skiptrain::util {
@@ -45,11 +47,29 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
 
+  /// Templated overload: lambdas bind here instead of converting to
+  /// std::function, so the body is invoked directly inside the chunk loop
+  /// — type-erased dispatch happens once per CHUNK (the task queue),
+  /// never per index. This is what the hot engine loops pay.
+  template <typename Body>
+    requires std::invocable<Body&, std::size_t>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                    std::size_t grain = 1) {
+    parallel_for_chunks(
+        begin, end,
+        [&body](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        },
+        grain);
+  }
+
   /// Like parallel_for but hands each worker a [chunk_begin, chunk_end)
-  /// range, letting the body amortise per-chunk setup.
+  /// range, letting the body amortise per-chunk setup. `min_per_chunk`
+  /// bounds the smallest chunk (fewer, larger chunks for cheap bodies).
   void parallel_for_chunks(
       std::size_t begin, std::size_t end,
-      const std::function<void(std::size_t, std::size_t)>& fn);
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t min_per_chunk = 1);
 
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
@@ -94,5 +114,15 @@ class ThreadPool {
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 1);
+
+/// Templated convenience wrapper: keeps call sites free of per-index
+/// std::function dispatch (see ThreadPool::parallel_for).
+template <typename Body>
+  requires std::invocable<Body&, std::size_t>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 1) {
+  ThreadPool::global().parallel_for(begin, end, std::forward<Body>(body),
+                                    grain);
+}
 
 }  // namespace skiptrain::util

@@ -446,5 +446,32 @@ TEST(SweepConfig, PresetsExpandToTheirPublishedShapes) {
   }
 }
 
+
+#ifdef SKIPTRAIN_TEST_DATA_DIR
+TEST(SweepGolden, Fig3IdentityCodecCsvByteIdenticalToSeed) {
+  // The committed golden was produced by the seed kernels (PR 5 base).
+  // The blocked GEMM layer sits under every trial's training math, so this
+  // pins the whole compute substrate to bit-identical results: a single
+  // flipped bit anywhere in gemm/conv/codec changes some accuracy cell
+  // and fails the byte compare.
+  PresetParams params;
+  params.nodes = 12;
+  params.rounds = 40;
+  SweepGrid grid = make_preset("fig3", params);
+  SweepOptions options;
+  options.threads = 2;
+  SweepRunner runner(options);
+  const SweepReport report = runner.run(grid);
+  EXPECT_TRUE(report.all_ok());
+  const std::string path =
+      ::testing::TempDir() + "/golden_fig3_check.csv";
+  report.write_csv(path);
+  const std::string golden = read_file(
+      std::string(SKIPTRAIN_TEST_DATA_DIR) + "/golden_fig3_n12_r40_identity.csv");
+  ASSERT_FALSE(golden.empty()) << "golden file missing";
+  EXPECT_EQ(read_file(path), golden);
+}
+#endif  // SKIPTRAIN_TEST_DATA_DIR
+
 }  // namespace
 }  // namespace skiptrain::sweep

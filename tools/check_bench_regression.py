@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI bench regression gate over BENCH_aggregate.json.
+
+Two kinds of checks against the committed baseline
+(bench/bench_baseline.json):
+
+* "pairs" — HARD gate. Each entry names an optimized benchmark row and its
+  in-process reference twin (e.g. BM_GemmNTBlocked/... vs BM_GemmNTRef/...)
+  plus the minimum speedup ratio the optimized kernel must keep. Because
+  both rows run in the same process on the same machine, the ratio is
+  machine-independent: a kernel regression (or a change that silently
+  reroutes the fast path to the reference) drops the ratio and fails CI.
+  The committed min_speedup values carry ~40-50% slack below locally
+  measured ratios to absorb runner noise.
+
+* "absolute" — annotation only. Reference wall times recorded on the dev
+  machine; rows slower than warn_factor x the recorded time emit a GitHub
+  ::warning:: (absolute times are machine-dependent, so they never fail).
+
+Usage: check_bench_regression.py BENCH_aggregate.json bench_baseline.json
+Exit status: 0 ok, 1 a hard pair gate failed, 2 input malformed.
+"""
+
+import json
+import sys
+
+
+def load_rows(bench_json_path):
+    with open(bench_json_path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    rows = {}
+    for bench in data.get("benchmarks", []):
+        # Aggregate reports (mean/median/stddev) carry run_type
+        # "aggregate"; plain runs are "iteration". Keep first occurrence.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench.get("name")
+        if name and name not in rows:
+            rows[name] = float(bench["real_time"])
+    return rows
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        rows = load_rows(argv[1])
+        with open(argv[2], "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"::error::bench gate: cannot load inputs: {err}")
+        return 2
+
+    failed = False
+    for pair in baseline.get("pairs", []):
+        opt, ref = pair["optimized"], pair["reference"]
+        want = float(pair["min_speedup"])
+        if opt not in rows or ref not in rows:
+            print(f"::error::bench gate: missing rows for pair {opt} / {ref} "
+                  f"in {argv[1]}")
+            failed = True
+            continue
+        got = rows[ref] / rows[opt] if rows[opt] > 0 else float("inf")
+        status = "ok" if got >= want else "FAIL"
+        print(f"[{status}] {opt}: {got:.2f}x vs {ref} (gate {want:.2f}x)")
+        if got < want:
+            print(f"::error::kernel regression: {opt} is only {got:.2f}x "
+                  f"faster than {ref}, gate requires {want:.2f}x")
+            failed = True
+
+    warn_factor = float(baseline.get("warn_factor", 2.0))
+    for name, recorded_ns in baseline.get("absolute_ns", {}).items():
+        if name not in rows:
+            print(f"::warning::bench gate: absolute row {name} missing")
+            continue
+        ratio = rows[name] / float(recorded_ns)
+        note = " (slower than recorded baseline)" if ratio > warn_factor else ""
+        print(f"[abs] {name}: {rows[name]:.0f} ns vs recorded "
+              f"{recorded_ns:.0f} ns ({ratio:.2f}x){note}")
+        if ratio > warn_factor:
+            print(f"::warning::{name} is {ratio:.2f}x the recorded baseline "
+                  f"time (annotation only — absolute times are "
+                  f"machine-dependent)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
