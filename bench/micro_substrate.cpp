@@ -6,14 +6,16 @@
 // Results are written to BENCH_aggregate.json (override with
 // --benchmark_out=...) so CI records the gossip-kernel perf trajectory
 // per PR. `--quick` runs the aggregate-phase, exchange-codec,
-// fleet-checkpoint, kernel-layer GEMM, and Conv2d grids at a short
-// min-time — the mode the CI Release job uses; the GEMM/Conv rows feed
-// the bench regression gate (tools/check_bench_regression.py).
+// fleet-checkpoint, scenario/harvest, kernel-layer GEMM, and Conv2d
+// grids at a short min-time — the mode the CI Release job uses; the
+// GEMM/Conv rows feed the bench regression gate
+// (tools/check_bench_regression.py).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <filesystem>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -401,6 +403,77 @@ void BM_CheckpointRestore(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointRestore)->Arg(16)->Arg(64)->Arg(256);
 
+// ---------------------------------------------------------------------------
+// Scenario-engine kernels (scenario/scenario.hpp): the per-round cost the
+// harvest/churn layer adds to every simulated round. BM_HarvestSample is
+// the pure counter-based solar draw (two stateless_uniform evaluations +
+// a sine); BM_ScenarioRoundStep is the full synchronous begin_round
+// (harvest + hysteresis for n nodes); BM_ScenarioTraceStep replays a CSV
+// trace series instead of the synthetic sky. All run under --quick so CI
+// catches a scenario layer that starts dominating round time.
+// ---------------------------------------------------------------------------
+
+scenario::FleetScenario make_scenario_bench(std::size_t nodes,
+                                            scenario::HarvestKind kind) {
+  scenario::ScenarioConfig config = scenario::make_config("solar");
+  if (kind == scenario::HarvestKind::kTrace) {
+    // A 48-sample, 4-series in-memory trace: long enough to defeat any
+    // single-sample caching, small enough to stay cache-resident (the
+    // realistic case — traces are tiny next to the plane).
+    std::string csv = "time,node,harvest_mwh,available\n";
+    for (int t = 0; t < 48; ++t) {
+      for (int node = 0; node < 4; ++node) {
+        csv += std::to_string(t) + "," + std::to_string(node) + "," +
+               std::to_string(0.25 * ((t + node) % 7)) + "," +
+               ((t + node) % 11 == 0 ? "0" : "1") + "\n";
+      }
+    }
+    std::istringstream in(csv);
+    config.harvest = scenario::HarvestKind::kTrace;
+    config.trace = std::make_shared<const scenario::HarvestTrace>(
+        scenario::HarvestTrace::parse_csv(in, "bench"));
+  }
+  return scenario::FleetScenario(config, nodes, /*seed=*/42,
+                                 std::vector<double>(nodes, 25.0));
+}
+
+void BM_HarvestSample(benchmark::State& state) {
+  const auto fleet =
+      make_scenario_bench(64, scenario::HarvestKind::kSolar);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    benchmark::DoNotOptimize(fleet.harvest_sample_mwh(t % 64, t));
+  }
+}
+BENCHMARK(BM_HarvestSample);
+
+void BM_ScenarioRoundStep(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  auto fleet = make_scenario_bench(nodes, scenario::HarvestKind::kSolar);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    fleet.begin_round(++t);
+    benchmark::DoNotOptimize(fleet.down_steps_total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_ScenarioRoundStep)->Arg(64)->Arg(256);
+
+void BM_ScenarioTraceStep(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  auto fleet = make_scenario_bench(nodes, scenario::HarvestKind::kTrace);
+  std::size_t t = 0;
+  for (auto _ : state) {
+    fleet.begin_round(++t);
+    benchmark::DoNotOptimize(fleet.down_steps_total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_ScenarioTraceStep)->Arg(64)->Arg(256);
+
 void BM_LocalSgdStep(benchmark::State& state) {
   data::CifarSynConfig config;
   config.nodes = 1;
@@ -519,7 +592,7 @@ int main(int argc, char** argv) {
   }
   if (quick) {
     args.insert(args.begin() + 1,
-                "--benchmark_filter=BM_Aggregate|BM_Codec|BM_Checkpoint|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d");
+                "--benchmark_filter=BM_Aggregate|BM_Codec|BM_Checkpoint|BM_Harvest|BM_Scenario|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d");
     args.insert(args.begin() + 1, "--benchmark_min_time=0.05");
   }
   const bool has_out =

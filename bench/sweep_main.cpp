@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
                        "run a declarative parameter sweep (preset or config "
                        "file) on the trial-parallel sweep runner");
   args.add_string("preset", "",
-                  "paper preset: fig3 | fig5 | fig6 | table3 | smartphone");
+                  "paper preset: fig3 | fig5 | fig6 | table3 | quant | "
+                  "smartphone | solar_sensor_fleet | churning_phone_fleet");
   args.add_string("config", "", "key=value grid config file");
   args.add_string("csv", "", "summary CSV path (default <name>_sweep.csv)");
   args.add_flag("list", "print the expanded trial list and exit");

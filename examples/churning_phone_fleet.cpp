@@ -1,0 +1,61 @@
+// Churning phone fleet: the scenario engine's stress case. Tight
+// batteries (six training rounds of capacity, starting 60% charged)
+// under heavy weather force frequent mid-run dropout and re-entry —
+// a phone fleet where devices constantly leave and rejoin. A down
+// node's model freezes in place and the aggregation masks it out until
+// its battery clears the re-entry threshold (hysteresis, so boundary
+// nodes don't flap every round).
+//
+// The grid is the "churning_phone_fleet" sweep preset: three
+// budget-aware participation policies — SkipTrain-constrained (Eq. 5),
+// DEAL-style decremental participation, and Greedy — compared under
+// byte-identical churn (counter-based draws make the weather a pure
+// function of (seed, node, round), so every policy sees the same sky).
+#include <cstdio>
+
+#include "core/skiptrain.hpp"
+
+int main() {
+  using namespace skiptrain;
+
+  sweep::PresetParams params;
+  params.seed = 3;
+  sweep::SweepGrid grid = sweep::make_preset("churning_phone_fleet", params);
+
+  const scenario::ScenarioConfig churn = scenario::make_config("churn");
+  std::printf(
+      "fleet of %zu phones: battery %.0f training-rounds starting at "
+      "%.0f%% charge, harvest mean %.2f rounds/round on a %.0f-round "
+      "cycle, dropout below %.0f%% SoC, re-entry above %.0f%%\n\n",
+      grid.data.nodes, churn.battery_rounds, 100.0 * churn.initial_soc,
+      churn.harvest_rounds_mean, churn.period_rounds,
+      100.0 * churn.dropout_soc, 100.0 * churn.reentry_soc);
+
+  const sweep::SweepReport report =
+      sweep::SweepRunner({.threads = 1}).run(grid);
+
+  util::TablePrinter results({"policy", "final acc%", "availability%",
+                              "down node-rounds", "harvested Wh",
+                              "spent Wh"});
+  for (const sweep::TrialResult& trial : report.trials) {
+    if (!trial.ok()) {
+      results.add_row({trial.error, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    results.add_row(
+        {trial.result.algorithm,
+         util::fixed(100.0 * trial.result.final_mean_accuracy, 2),
+         util::fixed(100.0 * trial.result.mean_availability, 1),
+         std::to_string(trial.result.down_node_rounds),
+         util::fixed(trial.result.harvested_wh, 3),
+         util::fixed(trial.result.total_training_wh +
+                         trial.result.total_comm_wh, 3)});
+  }
+  results.print();
+
+  std::printf(
+      "\nexpected: Greedy drains batteries early and rides out the run "
+      "mostly down; the decremental policy tapers spend as charge drops, "
+      "holding availability higher at similar accuracy.\n");
+  return report.all_ok() ? 0 : 1;
+}

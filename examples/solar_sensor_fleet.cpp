@@ -1,0 +1,61 @@
+// Solar sensor fleet: energy-harvesting scenario end-to-end. A fleet of
+// 32 solar-powered sensors trains collaboratively while each node's
+// battery charges from a diurnal harvest (clipped sine x weather noise,
+// heterogeneous panel efficiencies) and pays for every local update and
+// exchange. Weak-panel nodes brown out at night, freeze in place, and
+// re-enter by day.
+//
+// The grid is the "solar_sensor_fleet" sweep preset: SkipTrain, its
+// harvest-aware variant (participation rides the diurnal wave), and
+// D-PSGD — each under both the paper's always-powered setting
+// (scenario=none) and the solar scenario, so the availability/accuracy
+// cost of intermittent power is read directly off one table.
+#include <cstdio>
+
+#include "core/skiptrain.hpp"
+
+int main() {
+  using namespace skiptrain;
+
+  sweep::PresetParams params;
+  params.seed = 3;
+  sweep::SweepGrid grid = sweep::make_preset("solar_sensor_fleet", params);
+
+  const scenario::ScenarioConfig solar = scenario::make_config("solar");
+  std::printf(
+      "fleet of %zu sensors: battery %.0f training-rounds, harvest mean "
+      "%.2f rounds/round over a %.0f-round day, dropout below %.0f%% SoC, "
+      "re-entry above %.0f%%\n\n",
+      grid.data.nodes, solar.battery_rounds, solar.harvest_rounds_mean,
+      solar.period_rounds, 100.0 * solar.dropout_soc,
+      100.0 * solar.reentry_soc);
+
+  const sweep::SweepReport report =
+      sweep::SweepRunner({.threads = 1}).run(grid);
+
+  util::TablePrinter results({"algorithm", "scenario", "final acc%",
+                              "availability%", "harvested Wh", "spent Wh"});
+  for (const sweep::TrialResult& trial : report.trials) {
+    if (!trial.ok()) {
+      results.add_row({trial.error, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const std::string scenario_name =
+        scenario::scenario_token(trial.spec.options.scenario);
+    results.add_row(
+        {trial.result.algorithm, scenario_name,
+         util::fixed(100.0 * trial.result.final_mean_accuracy, 2),
+         util::fixed(100.0 * trial.result.mean_availability, 1),
+         util::fixed(trial.result.harvested_wh, 3),
+         util::fixed(trial.result.total_training_wh +
+                         trial.result.total_comm_wh, 3)});
+  }
+  results.print();
+
+  std::printf(
+      "\nexpected: under scenario=none every run sits at 100%% "
+      "availability; under solar, nodes brown out at night and the "
+      "harvest-aware schedule concentrates training in daylight, keeping "
+      "more accuracy per harvested Wh than the fixed Γ-schedule.\n");
+  return report.all_ok() ? 0 : 1;
+}

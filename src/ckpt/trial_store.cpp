@@ -8,6 +8,7 @@
 #include "ckpt/fleet_image.hpp"
 #include "ckpt/io.hpp"
 #include "quant/codec.hpp"
+#include "scenario/scenario.hpp"
 #include "sweep/config.hpp"
 
 namespace skiptrain::ckpt {
@@ -45,6 +46,7 @@ std::string trial_fingerprint(const sweep::TrialSpec& spec) {
   fp += "|lr=" + hex_float(o.learning_rate);
   fp += "|k=" + std::to_string(o.sparse_exchange_k);
   fp += "|codec=" + std::string(quant::codec_token(o.exchange_codec));
+  fp += "|scn=" + scenario::scenario_token(o.scenario);
   fp += "|wl=" + std::to_string(static_cast<int>(o.workload));
   fp += "|bs=" + hex_float(o.budget_scale);
   fp += "|ee=" + std::to_string(o.eval_every);
@@ -78,6 +80,9 @@ void write_trial_result(const sweep::TrialResult& result,
     writer.f64(r.total_comm_wh);
     writer.f64(r.fleet_budget_wh);
     writer.u64(r.coordinated_training_rounds);
+    writer.f64(r.mean_availability);
+    writer.u64(r.down_node_rounds);
+    writer.f64(r.harvested_wh);
     writer.f64_vec(r.final_per_node_accuracy);
     writer.str(r.recorder.name());
     writer.u64(r.recorder.records().size());
@@ -116,6 +121,9 @@ bool load_trial_result(const sweep::TrialSpec& spec, const std::string& path,
     r.total_comm_wh = reader.f64();
     r.fleet_budget_wh = reader.f64();
     r.coordinated_training_rounds = static_cast<std::size_t>(reader.u64());
+    r.mean_availability = reader.f64();
+    r.down_node_rounds = static_cast<std::size_t>(reader.u64());
+    r.harvested_wh = reader.f64();
     r.final_per_node_accuracy = reader.f64_vec();
     r.recorder = metrics::Recorder(reader.str());
     const std::uint64_t records =

@@ -31,7 +31,9 @@
 
 namespace skiptrain::ckpt {
 
-inline constexpr std::uint32_t kTrialResultVersion = 1;
+// v2 added the scenario telemetry fields (availability, down node-rounds,
+// harvested energy). Old v1 files fail the version check and rerun.
+inline constexpr std::uint32_t kTrialResultVersion = 2;
 
 /// `<dir>/trial_<zero-padded index>` — the base both per-trial file
 /// names share.

@@ -120,6 +120,63 @@ class GreedyScheduler final : public RoundScheduler {
   bool is_budget_aware() const override { return true; }
 };
 
+/// Harvest-aware SkipTrain (scenario engine): on top of the Γ-alternation,
+/// participation follows the diurnal harvest curve — p(t) ramps from
+/// `participation_floor` at night up to 1 at solar noon, so nodes
+/// preferentially spend their training budget when energy is arriving
+/// (cf. Zhang et al., energy-harvesting DFL). Pure in (t, node) +
+/// construction: the phase is computed from t and the draw is
+/// counter-based on (seed, node, t).
+class HarvestAwareSkipTrainScheduler final : public SkipTrainScheduler {
+ public:
+  /// `period_rounds` must match the scenario's diurnal cycle length.
+  HarvestAwareSkipTrainScheduler(std::size_t gamma_train,
+                                 std::size_t gamma_sync,
+                                 double period_rounds,
+                                 double participation_floor,
+                                 std::uint64_t seed);
+
+  std::string name() const override;
+  bool should_train(std::size_t t, std::size_t node,
+                    std::size_t remaining_budget) const override;
+
+  /// The coordinated participation probability at round t (same for all
+  /// nodes; exposed for tests).
+  double probability(std::size_t t) const;
+
+ private:
+  double period_rounds_;
+  double participation_floor_;
+  std::uint64_t seed_;
+};
+
+/// DEAL-style decremental participation: node i trains with probability
+/// (remaining_budget / initial_budget)^alpha — full participation on a
+/// fresh battery allowance, tapering off as the budget drains instead of
+/// Greedy's cliff. alpha < 1 stays aggressive longer; alpha > 1 backs
+/// off early. Pure in (t, node, remaining_budget) + construction.
+class DecrementalParticipationScheduler final : public RoundScheduler {
+ public:
+  /// `initial_budgets[i]` = τ_i at round 1 (a zero budget never trains).
+  DecrementalParticipationScheduler(std::vector<std::size_t> initial_budgets,
+                                    double alpha, std::uint64_t seed);
+
+  std::string name() const override;
+  RoundKind round_kind(std::size_t) const override {
+    return RoundKind::kTraining;
+  }
+  bool should_train(std::size_t t, std::size_t node,
+                    std::size_t remaining_budget) const override;
+  bool is_budget_aware() const override { return true; }
+
+  double probability(std::size_t node, std::size_t remaining_budget) const;
+
+ private:
+  std::vector<std::size_t> initial_budgets_;
+  double alpha_;
+  std::uint64_t seed_;
+};
+
 /// Utility: fraction of rounds in [1, T] that are coordinated training
 /// rounds under a scheduler (1.0 for D-PSGD / Greedy).
 double training_round_fraction(const RoundScheduler& scheduler,

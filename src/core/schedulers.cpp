@@ -1,5 +1,9 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
 #include <stdexcept>
 
 #include "core/equations.hpp"
@@ -67,6 +71,82 @@ bool SkipTrainConstrainedScheduler::should_train(
 
 double SkipTrainConstrainedScheduler::probability(std::size_t node) const {
   return probabilities_.at(node);
+}
+
+HarvestAwareSkipTrainScheduler::HarvestAwareSkipTrainScheduler(
+    std::size_t gamma_train, std::size_t gamma_sync, double period_rounds,
+    double participation_floor, std::uint64_t seed)
+    : SkipTrainScheduler(gamma_train, gamma_sync),
+      period_rounds_(period_rounds),
+      participation_floor_(participation_floor),
+      seed_(seed) {
+  if (period_rounds_ <= 0.0) {
+    throw std::invalid_argument("HarvestAware: period must be positive");
+  }
+  if (participation_floor_ < 0.0 || participation_floor_ > 1.0) {
+    throw std::invalid_argument(
+        "HarvestAware: participation floor must lie in [0, 1]");
+  }
+}
+
+std::string HarvestAwareSkipTrainScheduler::name() const {
+  // %g keeps "period=24" readable (std::to_string(double) prints
+  // 24.000000 into every table and CSV row).
+  char period[32];
+  std::snprintf(period, sizeof(period), "%g", period_rounds_);
+  return "HarvestAware(Γtrain=" + std::to_string(gamma_train()) +
+         ", Γsync=" + std::to_string(gamma_sync()) + ", period=" + period +
+         ")";
+}
+
+double HarvestAwareSkipTrainScheduler::probability(std::size_t t) const {
+  // Same clipped diurnal sine as the solar harvest generator (phase 0 at
+  // round 1), normalized to [0, 1]: p = floor at night, 1 at solar noon.
+  const double phase = 2.0 * std::numbers::pi *
+                       (static_cast<double>(t - 1) / period_rounds_);
+  const double daylight = std::max(0.0, std::sin(phase));
+  return participation_floor_ + (1.0 - participation_floor_) * daylight;
+}
+
+bool HarvestAwareSkipTrainScheduler::should_train(
+    std::size_t t, std::size_t node, std::size_t remaining_budget) const {
+  if (round_kind(t) != RoundKind::kTraining) return false;
+  if (remaining_budget == 0) return false;
+  const double r = util::stateless_uniform(seed_, node, t);
+  return r <= probability(t);
+}
+
+DecrementalParticipationScheduler::DecrementalParticipationScheduler(
+    std::vector<std::size_t> initial_budgets, double alpha,
+    std::uint64_t seed)
+    : initial_budgets_(std::move(initial_budgets)),
+      alpha_(alpha),
+      seed_(seed) {
+  if (alpha_ <= 0.0) {
+    throw std::invalid_argument("Decremental: alpha must be positive");
+  }
+}
+
+std::string DecrementalParticipationScheduler::name() const {
+  char alpha[32];
+  std::snprintf(alpha, sizeof(alpha), "%g", alpha_);
+  return std::string("DEAL-decremental(α=") + alpha + ")";
+}
+
+double DecrementalParticipationScheduler::probability(
+    std::size_t node, std::size_t remaining_budget) const {
+  const std::size_t initial = initial_budgets_.at(node);
+  if (initial == 0 || remaining_budget == 0) return 0.0;
+  const double fraction = static_cast<double>(remaining_budget) /
+                          static_cast<double>(initial);
+  return std::pow(std::min(fraction, 1.0), alpha_);
+}
+
+bool DecrementalParticipationScheduler::should_train(
+    std::size_t t, std::size_t node, std::size_t remaining_budget) const {
+  if (remaining_budget == 0) return false;
+  const double r = util::stateless_uniform(seed_, node, t);
+  return r <= probability(node, remaining_budget);
 }
 
 double training_round_fraction(const RoundScheduler& scheduler,

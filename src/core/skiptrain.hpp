@@ -41,6 +41,8 @@
 #include "nn/sequential.hpp"
 #include "nn/serialize.hpp"
 #include "quant/codec.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/trace.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"

@@ -52,6 +52,22 @@ void EnergyAccountant::record_exchange(std::size_t node,
                                                      degree_of_node_[node]);
 }
 
+double EnergyAccountant::training_cost_mwh(std::size_t node) const {
+  assert(node < num_nodes());
+  return fleet_.training_energy_mwh(node);
+}
+
+double EnergyAccountant::exchange_cost_mwh(std::size_t node) const {
+  return exchange_cost_mwh(node, model_params_);
+}
+
+double EnergyAccountant::exchange_cost_mwh(
+    std::size_t node, std::size_t effective_params) const {
+  assert(node < num_nodes());
+  return comm_model_.exchange_energy_mwh(effective_params,
+                                         degree_of_node_[node]);
+}
+
 std::size_t EnergyAccountant::remaining_budget(std::size_t node) const {
   assert(node < num_nodes());
   return budget_[node];

@@ -41,6 +41,16 @@ class EnergyAccountant {
   /// `effective_params` dense parameters (see core::effective_params).
   void record_exchange(std::size_t node, std::size_t effective_params);
 
+  /// What record_training(node) WOULD bill — the scenario engine quotes
+  /// this before committing, so a battery brownout can cancel the work
+  /// instead of billing energy the node does not have.
+  double training_cost_mwh(std::size_t node) const;
+
+  /// What record_exchange(node[, effective_params]) would bill.
+  double exchange_cost_mwh(std::size_t node) const;
+  double exchange_cost_mwh(std::size_t node,
+                           std::size_t effective_params) const;
+
   /// Remaining training rounds before node i's battery allowance runs out.
   std::size_t remaining_budget(std::size_t node) const;
   bool has_budget(std::size_t node) const {

@@ -1,0 +1,213 @@
+#include "scenario/trace.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace skiptrain::scenario {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, std::size_t line,
+                       const std::string& message) {
+  throw std::runtime_error("harvest trace " + what + ":" +
+                           std::to_string(line) + ": " + message);
+}
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(trim(line.substr(start)));
+      return fields;
+    }
+    fields.push_back(trim(line.substr(start, comma - start)));
+    start = comma + 1;
+  }
+}
+
+double parse_double(const std::string& text, const std::string& what,
+                    std::size_t line, const char* field) {
+  if (text.empty()) {
+    fail(what, line, std::string("empty ") + field + " field");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    fail(what, line,
+         std::string("malformed ") + field + " value '" + text + "'");
+  }
+  return value;
+}
+
+// A node id field must be a plain non-negative integer; strtod would
+// accept "1e3" or "2.5" here.
+std::size_t parse_node_id(const std::string& text, const std::string& what,
+                          std::size_t line) {
+  if (text.empty()) fail(what, line, "empty node field");
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      fail(what, line, "malformed node id '" + text + "'");
+    }
+  }
+  // A ceiling far above any plausible fleet; a corrupt field must not
+  // drive a multi-gigabyte series allocation below.
+  constexpr std::size_t kMaxNodeId = 1u << 20;
+  const unsigned long long value = std::strtoull(text.c_str(), nullptr, 10);
+  if (value >= kMaxNodeId) {
+    fail(what, line, "node id " + text + " exceeds the supported maximum " +
+                         std::to_string(kMaxNodeId - 1));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+HarvestTrace HarvestTrace::parse_csv(std::istream& in,
+                                     const std::string& what) {
+  HarvestTrace trace;
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Binary garbage (e.g. a trace truncated and re-appended by a crashed
+    // writer) shows up as embedded NULs; CSV text never contains them.
+    if (line.find('\0') != std::string::npos) {
+      fail(what, line_number, "binary bytes in CSV trace");
+    }
+    const std::string text = trim(line);
+    if (text.empty()) {
+      fail(what, line_number, "blank line inside trace");
+    }
+    if (!saw_header) {
+      saw_header = true;
+      if (text.rfind("time", 0) != 0) {
+        fail(what, line_number,
+             "expected header 'time,node,harvest_mwh[,available]', got '" +
+                 text + "'");
+      }
+      continue;
+    }
+    const std::vector<std::string> fields = split_fields(text);
+    if (fields.size() != 3 && fields.size() != 4) {
+      fail(what, line_number,
+           "expected 3 or 4 fields, got " + std::to_string(fields.size()));
+    }
+    Sample sample;
+    sample.time = parse_double(fields[0], what, line_number, "time");
+    const std::size_t node = parse_node_id(fields[1], what, line_number);
+    sample.harvest_mwh =
+        parse_double(fields[2], what, line_number, "harvest_mwh");
+    if (!std::isfinite(sample.time)) {
+      fail(what, line_number, "non-finite timestamp");
+    }
+    if (!std::isfinite(sample.harvest_mwh)) {
+      fail(what, line_number, "non-finite harvest value");
+    }
+    if (sample.harvest_mwh < 0.0) {
+      fail(what, line_number,
+           "negative harvest value " + fields[2] +
+               " (harvested energy cannot be negative)");
+    }
+    if (fields.size() == 4) {
+      if (fields[3] == "0") {
+        sample.available = false;
+      } else if (fields[3] == "1") {
+        sample.available = true;
+      } else {
+        fail(what, line_number,
+             "availability flag must be 0 or 1, got '" + fields[3] + "'");
+      }
+    }
+    if (node >= trace.series_.size()) trace.series_.resize(node + 1);
+    auto& series = trace.series_[node];
+    if (!series.empty() && sample.time <= series.back().time) {
+      fail(what, line_number,
+           "non-monotonic timestamp " + fields[0] + " for node " +
+               std::to_string(node) + " (previous sample at " +
+               std::to_string(series.back().time) + ")");
+    }
+    series.push_back(sample);
+  }
+  if (in.bad()) {
+    throw std::runtime_error("harvest trace " + what + ": read error");
+  }
+  if (trace.series_.empty()) {
+    throw std::runtime_error("harvest trace " + what +
+                             ": contains no samples");
+  }
+  for (std::size_t i = 0; i < trace.series_.size(); ++i) {
+    if (trace.series_[i].empty()) {
+      throw std::runtime_error(
+          "harvest trace " + what + ": node ids must cover 0.." +
+          std::to_string(trace.series_.size() - 1) + " with no gaps (node " +
+          std::to_string(i) + " has no samples)");
+    }
+  }
+  return trace;
+}
+
+HarvestTrace HarvestTrace::load_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("harvest trace: cannot open '" + path + "'");
+  }
+  return parse_csv(in, path);
+}
+
+std::size_t HarvestTrace::series_length(std::size_t node) const {
+  assert(!series_.empty());
+  return series_[node % series_.size()].size();
+}
+
+const HarvestTrace::Sample& HarvestTrace::sample(std::size_t node,
+                                                 std::size_t t) const {
+  assert(!series_.empty());
+  assert(t >= 1);
+  const auto& series = series_[node % series_.size()];
+  return series[(t - 1) % series.size()];
+}
+
+double HarvestTrace::harvest_mwh(std::size_t node, std::size_t t) const {
+  return sample(node, t).harvest_mwh;
+}
+
+bool HarvestTrace::available(std::size_t node, std::size_t t) const {
+  return sample(node, t).available;
+}
+
+std::uint64_t HarvestTrace::content_hash() const {
+  std::uint64_t hash = util::hash_combine(0x7261636548727673ULL,  // "svrHcar"
+                                          series_.size());
+  for (const auto& series : series_) {
+    hash = util::hash_combine(hash, series.size());
+    for (const Sample& sample : series) {
+      hash = util::hash_combine(
+          hash, std::bit_cast<std::uint64_t>(sample.time));
+      hash = util::hash_combine(
+          hash, std::bit_cast<std::uint64_t>(sample.harvest_mwh));
+      hash = util::hash_combine(hash, sample.available ? 1u : 0u);
+    }
+  }
+  return hash;
+}
+
+}  // namespace skiptrain::scenario

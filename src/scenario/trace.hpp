@@ -1,0 +1,75 @@
+// CSV harvest/availability traces for the scenario engine.
+//
+// Real deployments publish per-device energy logs (solar irradiance,
+// RF-harvest, duty-cycle availability); a HarvestTrace loads such a log
+// and replays it per node. The format is a plain CSV:
+//
+//   time,node,harvest_mwh[,available]
+//   0,0,1.25,1
+//   0,1,0.80,1
+//   1,0,1.10,0
+//
+// * `time` — sample timestamps; strictly increasing per node (any
+//   monotone unit: rounds, seconds, ...). Only the ORDER is used: sample
+//   k of node i's series applies to that node's k-th scenario step.
+// * `node` — series id. Ids must cover 0..K-1 with no gaps; a fleet
+//   larger than K maps node i onto series i mod K, and a series shorter
+//   than the run wraps cyclically.
+// * `harvest_mwh` — energy harvested since the previous sample. Finite
+//   and non-negative.
+// * `available` — optional 0/1 duty-cycle flag; a 0 forces the node down
+//   for that step regardless of charge (defaults to 1).
+//
+// Loading mirrors the ckpt IO hardening: empty files, non-monotonic
+// timestamps, NaN/negative harvest values, malformed rows, and binary
+// trailing bytes are all rejected with errors naming the offending line —
+// a truncated or corrupted trace must never silently drive a simulation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace skiptrain::scenario {
+
+class HarvestTrace {
+ public:
+  struct Sample {
+    double time = 0.0;
+    double harvest_mwh = 0.0;
+    bool available = true;
+  };
+
+  /// Parses the CSV format above from a stream; `what` names the source
+  /// in error messages. Throws std::runtime_error on any hostile input.
+  static HarvestTrace parse_csv(std::istream& in, const std::string& what);
+
+  /// Opens and parses `path`. Throws std::runtime_error when the file is
+  /// missing or malformed.
+  static HarvestTrace load_csv(const std::string& path);
+
+  /// Number of per-node series (the trace's K distinct node ids).
+  std::size_t num_series() const { return series_.size(); }
+
+  /// Samples in node i's series (nodes wrap: i mod num_series()).
+  std::size_t series_length(std::size_t node) const;
+
+  /// Harvest delivered to `node` at its step `t` (1-based, matching round
+  /// numbering); series wrap cyclically past their length.
+  double harvest_mwh(std::size_t node, std::size_t t) const;
+
+  /// Duty-cycle availability of `node` at step `t` (same indexing).
+  bool available(std::size_t node, std::size_t t) const;
+
+  /// Content fingerprint over every sample; feeds the scenario config
+  /// hash so checkpoint identities distinguish different trace files.
+  std::uint64_t content_hash() const;
+
+ private:
+  const Sample& sample(std::size_t node, std::size_t t) const;
+
+  std::vector<std::vector<Sample>> series_;
+};
+
+}  // namespace skiptrain::scenario

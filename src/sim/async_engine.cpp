@@ -7,6 +7,7 @@
 
 #include "sim/state_io.hpp"
 #include "tensor/ops.hpp"
+#include "util/rng.hpp"
 
 namespace skiptrain::sim {
 
@@ -50,6 +51,15 @@ AsyncGossipEngine::AsyncGossipEngine(const nn::Sequential& prototype,
   }
   local_round_.assign(n, 0);
 
+  if (config_.scenario.enabled) {
+    std::vector<double> train_costs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      train_costs[i] = accountant_.training_cost_mwh(i);
+    }
+    scenario_ = std::make_unique<scenario::FleetScenario>(
+        config_.scenario, n, config_.seed, std::move(train_costs));
+  }
+
   fresh_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     fresh_[i].assign(topology_.degree(i), 0);
@@ -89,8 +99,16 @@ detail::EngineIdentity AsyncGossipEngine::identity() const {
                                 config_.batch_size,
                                 std::bit_cast<std::uint32_t>(
                                     config_.learning_rate),
-                                std::bit_cast<std::uint64_t>(
-                                    config_.sync_duration_factor),
+                                // Fold the scenario fingerprint into the
+                                // aux bits when enabled; disabled keeps
+                                // the pre-scenario identity bytes.
+                                scenario_ != nullptr
+                                    ? util::hash_combine(
+                                          std::bit_cast<std::uint64_t>(
+                                              config_.sync_duration_factor),
+                                          scenario_->config_hash())
+                                    : std::bit_cast<std::uint64_t>(
+                                          config_.sync_duration_factor),
                                 scheduler_.name()};
 }
 
@@ -118,6 +136,10 @@ void AsyncGossipEngine::save_state(ckpt::ImageWriter& writer) const {
     queue.pop();
   }
   for (const auto& node : nodes_) detail::write_node_state(writer, *node);
+  // Scenario battery/churn state rides at the END of the payload — the
+  // scenario-free image layout is unchanged, and the aux_bits identity
+  // check guarantees reader and writer agree on this section's presence.
+  if (scenario_ != nullptr) scenario_->save_state(writer);
 }
 
 void AsyncGossipEngine::restore_state(ckpt::ImageReader& reader) {
@@ -168,6 +190,7 @@ void AsyncGossipEngine::restore_state(ckpt::ImageReader& reader) {
     queue.push(event);
   }
   for (auto& node : nodes_) detail::read_node_state(reader, *node);
+  if (scenario_ != nullptr) scenario_->restore_state(reader);
 
   activations_ = static_cast<std::size_t>(activations);
   trainings_ = static_cast<std::size_t>(trainings);
@@ -181,13 +204,45 @@ void AsyncGossipEngine::activate(std::size_t node) {
   ++activations_;
   const std::size_t t = ++local_round_[node];
 
+  // 0. Scenario: harvest arrives on the node's local clock, then churn
+  // thresholds apply. A down node burns a dormant activation — no work,
+  // no billing, model frozen in its row — and polls again later.
+  if (scenario_ != nullptr) {
+    scenario_->step_node(node, t);
+    if (!scenario_->alive(node)) {
+      queue_.push(Event{now_ + train_seconds_[node] *
+                                   config_.scenario.dormant_wait_factor,
+                        node});
+      return;
+    }
+  }
+
   // 1-2. Local training decision on the node's own round counter.
-  const bool trains =
+  bool trains =
       scheduler_.should_train(t, node, accountant_.remaining_budget(node));
+  if (trains && scenario_ != nullptr &&
+      !scenario_->try_spend(node, accountant_.training_cost_mwh(node))) {
+    // Training brownout: the battery empties before the update — the
+    // node dies on the spot and goes dormant without touching its model.
+    queue_.push(Event{now_ + train_seconds_[node] *
+                                 config_.scenario.dormant_wait_factor,
+                      node});
+    return;
+  }
   if (trains) {
     accountant_.record_training(node);
     nodes_[node]->train_local(config_.local_steps, config_.batch_size);
     ++trainings_;
+  }
+
+  // Radio brownout: the local update (if any) survives in the node's
+  // row, but it neither merges nor pushes this activation.
+  if (scenario_ != nullptr &&
+      !scenario_->try_spend(node, accountant_.exchange_cost_mwh(node))) {
+    queue_.push(Event{now_ + train_seconds_[node] *
+                                 config_.scenario.dormant_wait_factor,
+                      node});
+    return;
   }
 
   // 3. Merge fresh neighbor models: uniform average over self + fresh,

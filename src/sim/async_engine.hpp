@@ -31,6 +31,7 @@
 #include "nn/sequential.hpp"
 #include "plane/plane.hpp"
 #include "quant/codec.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/node.hpp"
 
 namespace skiptrain::ckpt {
@@ -58,6 +59,14 @@ struct AsyncConfig {
   /// decoded image. Bill at the matching volume by building the
   /// accountant's CommModel via quant::comm_model_for(exchange_codec).
   quant::Codec exchange_codec = quant::Codec::kIdentity;
+
+  /// Energy-harvesting/churn scenario (scenario/scenario.hpp). Disabled
+  /// (the default) keeps the pre-scenario event loop byte-for-byte.
+  /// Enabled, a node's battery steps on its LOCAL activation clock: a
+  /// down node burns a dormant activation (no train/merge/push/billing)
+  /// and polls again after dormant_wait_factor x its training duration,
+  /// so its model freezes in place until harvest revives it.
+  scenario::ScenarioConfig scenario{};
 };
 
 class AsyncGossipEngine {
@@ -84,6 +93,9 @@ class AsyncGossipEngine {
 
   nn::Sequential& model(std::size_t node) { return nodes_[node]->model(); }
   const energy::EnergyAccountant& accountant() const { return accountant_; }
+
+  /// Battery/churn state when a scenario is enabled; nullptr otherwise.
+  const scenario::FleetScenario* scenario() const { return scenario_.get(); }
 
   /// Zero-copy view of every node's current model (row i = node i).
   plane::ConstMatrixView node_parameters() const { return models_.view(); }
@@ -149,6 +161,10 @@ class AsyncGossipEngine {
   // sender (per-sender payloads would hold ~n·dim dead wire bytes).
   std::unique_ptr<quant::RowCodec> codec_;
   quant::QuantizedRow wire_scratch_;
+
+  // Scenario state (nullptr when config_.scenario is disabled). The event
+  // loop is serial, so batteries step with no synchronization concerns.
+  std::unique_ptr<scenario::FleetScenario> scenario_;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   double now_ = 0.0;

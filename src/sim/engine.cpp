@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "sim/state_io.hpp"
+#include "tensor/ops.hpp"
 #include "util/thread_pool.hpp"
 
 namespace skiptrain::sim {
@@ -52,6 +53,18 @@ RoundEngine::RoundEngine(const nn::Sequential& prototype,
   }
   train_flags_.assign(n, 0);
   local_losses_.assign(n, 0.0);
+
+  if (config_.scenario.enabled) {
+    // Battery/harvest magnitudes scale from each node's own per-round
+    // training energy, so one scenario config fits any workload.
+    std::vector<double> train_costs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      train_costs[i] = accountant_.training_cost_mwh(i);
+    }
+    scenario_ = std::make_unique<scenario::FleetScenario>(
+        config_.scenario, n, config_.seed, std::move(train_costs));
+    alive_flags_.assign(n, 1);
+  }
 }
 
 RoundEngine::RoundOutcome RoundEngine::run_round() {
@@ -74,19 +87,48 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
   }
   RoundOutcome outcome;
   outcome.kind = scheduler_.round_kind(t);
+  // Scenario: deliver harvest and apply churn thresholds for round t, then
+  // fix this round's liveness mask — serially, so the parallel phases read
+  // an immutable snapshot and battery evolution is thread-count-free.
+  bool any_down = false;
+  if (scenario_ != nullptr) scenario_->begin_round(t);
   for (std::size_t i = 0; i < n; ++i) {
-    const bool trains =
-        scheduler_.should_train(t, i, accountant_.remaining_budget(i));
+    bool alive = scenario_ == nullptr || scenario_->alive(i);
+    bool trains =
+        alive && scheduler_.should_train(t, i, accountant_.remaining_budget(i));
+    if (trains && scenario_ != nullptr &&
+        !scenario_->try_spend(i, accountant_.training_cost_mwh(i))) {
+      // Training brownout: the battery empties before the local update —
+      // the node dies on the spot, its model freezes for this round.
+      trains = false;
+      alive = false;
+    }
     train_flags_[i] = trains ? 1 : 0;
     if (trains) {
       accountant_.record_training(i);
       ++outcome.nodes_trained;
     }
-    // Sharing happens every round; compressed exchanges bill fewer bytes.
-    if (config_.sparse_exchange_k == 0) {
-      accountant_.record_exchange(i);
-    } else {
-      accountant_.record_exchange(i, wire_params);
+    if (alive && scenario_ != nullptr &&
+        !scenario_->try_spend(
+            i, config_.sparse_exchange_k == 0
+                   ? accountant_.exchange_cost_mwh(i)
+                   : accountant_.exchange_cost_mwh(i, wire_params))) {
+      // Radio brownout: the local update (if any) survives in the node's
+      // row, but it neither sends nor receives this round.
+      alive = false;
+    }
+    if (scenario_ != nullptr) {
+      alive_flags_[i] = alive ? 1 : 0;
+      if (!alive) any_down = true;
+    }
+    // Sharing happens every round a node is up; compressed exchanges bill
+    // fewer bytes. Down nodes exchange nothing and are billed nothing.
+    if (alive) {
+      if (config_.sparse_exchange_k == 0) {
+        accountant_.record_exchange(i);
+      } else {
+        accountant_.record_exchange(i, wire_params);
+      }
     }
   }
 
@@ -102,7 +144,41 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
 
   // Phase 3+4 — exchange & aggregate.
   if (config_.sparse_exchange_k == 0) {
-    if (codec_ == nullptr) {
+    if (any_down) {
+      // Churn-masked dense aggregation in difference form:
+      //   x_i^t = x_i^{t-1/2} + Σ_{alive j ∈ N(i)} W_ij (x_j^{t-1/2} - x_i^{t-1/2})
+      // A dead neighbor's weight mass reverts to x_i (lazy self-loop
+      // renormalization, rows still sum to 1), a dead node's own row is
+      // carried verbatim, and the self term is exact by construction —
+      // codecs only ever supply NEIGHBOR images, so no post-hoc self
+      // correction is needed. Writes go to back(), then one flip.
+      if (codec_ != nullptr) {
+        codec_->begin_round(t);
+        util::parallel_for(0, n, [&](std::size_t i) {
+          if (!alive_flags_[i]) return;
+          codec_->encode(plane_.current().row(i), wire_rows_[i]);
+          codec_->decode(wire_rows_[i], decoded_.row(i));
+        });
+      }
+      const plane::ConstMatrixView current = plane_.current().view();
+      util::parallel_for(0, n, [&](std::size_t i) {
+        const auto mine = current.row(i);
+        const auto out = plane_.back().row(i);
+        tensor::copy(mine, out);
+        if (!alive_flags_[i]) return;
+        for (const auto& entry : mixing_.neighbor_weights(i)) {
+          if (!alive_flags_[entry.neighbor]) continue;
+          const auto theirs = codec_ != nullptr
+                                  ? decoded_.row(entry.neighbor)
+                                  : current.row(entry.neighbor);
+          const float w = entry.weight;
+          for (std::size_t k = 0; k < out.size(); ++k) {
+            out[k] += w * (theirs[k] - mine[k]);
+          }
+        }
+      });
+      plane_.flip();
+    } else if (codec_ == nullptr) {
       // Dense: one blocked kernel current() → back(), then flip; reads
       // touch only x^{t-1/2}, writes only x^t.
       plane::apply_mixing(mixing_, plane_);
@@ -154,6 +230,7 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
       // values exact (a node never quantizes against itself).
       codec_->begin_round(t);
       util::parallel_for(0, n, [&](std::size_t i) {
+        if (any_down && !alive_flags_[i]) return;
         codec_->encode(staged_.row(i), wire_rows_[i]);
         codec_->decode(wire_rows_[i], staged_decoded_.row(i));
       });
@@ -161,9 +238,14 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
     const plane::RowArena& theirs_pool =
         codec_ != nullptr ? staged_decoded_ : staged_;
     util::parallel_for(0, n, [&](std::size_t i) {
+      // Churn mask: a down node neither sends nor receives, and dead
+      // neighbors drop out of the sum — the difference form keeps the
+      // row normalized (skipped mass stays on x_i) with no extra work.
+      if (any_down && !alive_flags_[i]) return;
       const auto row = plane_.current().row(i);
       const auto mine_staged = staged_.row(i);
       for (const auto& entry : mixing_.neighbor_weights(i)) {
+        if (any_down && !alive_flags_[entry.neighbor]) continue;
         core::accumulate_staged_difference(round_mask_,
                                            theirs_pool.row(entry.neighbor),
                                            mine_staged, row, entry.weight);
@@ -201,7 +283,13 @@ detail::EngineIdentity RoundEngine::identity() const {
                                 config_.batch_size,
                                 std::bit_cast<std::uint32_t>(
                                     config_.learning_rate),
-                                /*aux_bits=*/0,
+                                // Scenario configuration is part of the
+                                // identity: resuming a churn run under a
+                                // different battery/harvest model would
+                                // silently diverge. 0 when disabled keeps
+                                // pre-scenario images byte-compatible.
+                                scenario_ != nullptr ? scenario_->config_hash()
+                                                     : 0,
                                 scheduler_.name()};
 }
 
@@ -213,6 +301,11 @@ void RoundEngine::save_state(ckpt::ImageWriter& writer) const {
   // (and a single read into the arena on restore).
   writer.f32_blob(plane_.current().view().flat());
   for (const auto& node : nodes_) detail::write_node_state(writer, *node);
+  // Scenario battery/churn state rides at the END of the payload, so the
+  // scenario-free image layout (and probe_fleet_image's prefix reads) is
+  // unchanged; the aux_bits identity check above guarantees a reader only
+  // expects this section when the writer produced it.
+  if (scenario_ != nullptr) scenario_->save_state(writer);
 }
 
 void RoundEngine::restore_state(ckpt::ImageReader& reader) {
@@ -222,6 +315,7 @@ void RoundEngine::restore_state(ckpt::ImageReader& reader) {
   // One read straight into the live arena; models already view these rows.
   reader.f32_blob(plane_.current().view().flat());
   for (auto& node : nodes_) detail::read_node_state(reader, *node);
+  if (scenario_ != nullptr) scenario_->restore_state(reader);
   round_ = static_cast<std::size_t>(round);
 }
 

@@ -38,6 +38,7 @@
 #include "nn/sequential.hpp"
 #include "plane/plane.hpp"
 #include "quant/codec.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/node.hpp"
 
 namespace skiptrain::ckpt {
@@ -73,6 +74,14 @@ struct EngineConfig {
   /// volume by building the accountant's CommModel via
   /// quant::comm_model_for(exchange_codec).
   quant::Codec exchange_codec = quant::Codec::kIdentity;
+
+  /// Energy-harvesting/churn scenario (scenario/scenario.hpp). Disabled
+  /// (the default) keeps every pre-scenario code path — and its bytes —
+  /// untouched. Enabled, each node pays its battery for training and
+  /// exchange; a down node's model freezes in place and it is masked out
+  /// of the aggregation until recharge. Rounds where every node is up
+  /// still run the blocked fast-path kernels bit-identically.
+  scenario::ScenarioConfig scenario{};
 };
 
 class RoundEngine {
@@ -114,6 +123,9 @@ class RoundEngine {
 
   const energy::EnergyAccountant& accountant() const { return accountant_; }
   const core::RoundScheduler& scheduler() const { return scheduler_; }
+
+  /// Battery/churn state when a scenario is enabled; nullptr otherwise.
+  const scenario::FleetScenario* scenario() const { return scenario_.get(); }
 
   /// Serializes the engine's complete mutable simulation state — round
   /// counter, the [n × dim] plane blob (row-arena-contiguous, one write),
@@ -163,6 +175,13 @@ class RoundEngine {
   std::vector<std::uint32_t> round_mask_;  // sparse_exchange_k mode
   std::vector<char> train_flags_;
   std::vector<double> local_losses_;
+
+  // Scenario state (nullptr when config_.scenario is disabled).
+  // alive_flags_[i] is node i's liveness THIS round, fixed serially in
+  // phase 1 (including mid-round brownouts) so the parallel phases read
+  // an immutable mask.
+  std::unique_ptr<scenario::FleetScenario> scenario_;
+  std::vector<char> alive_flags_;
 };
 
 }  // namespace skiptrain::sim

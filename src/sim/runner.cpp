@@ -29,6 +29,10 @@ const char* algorithm_name(Algorithm algorithm) {
       return "SkipTrain-constrained";
     case Algorithm::kGreedy:
       return "Greedy";
+    case Algorithm::kSkipTrainHarvest:
+      return "SkipTrain-harvest";
+    case Algorithm::kDealDecremental:
+      return "DEAL-decremental";
   }
   return "?";
 }
@@ -36,7 +40,8 @@ const char* algorithm_name(Algorithm algorithm) {
 namespace {
 
 std::unique_ptr<core::RoundScheduler> make_scheduler(
-    const RunOptions& options, const energy::Fleet& fleet) {
+    const RunOptions& options, const energy::Fleet& fleet,
+    const scenario::ScenarioConfig& scenario_config) {
   switch (options.algorithm) {
     case Algorithm::kDpsgd:
     case Algorithm::kDpsgdAllReduce:
@@ -55,6 +60,24 @@ std::unique_ptr<core::RoundScheduler> make_scheduler(
     }
     case Algorithm::kGreedy:
       return std::make_unique<core::GreedyScheduler>();
+    case Algorithm::kSkipTrainHarvest: {
+      // Align the participation wave with the scenario's diurnal cycle
+      // when one is active; otherwise assume the default solar period.
+      const double period = scenario_config.enabled
+                                ? scenario_config.period_rounds
+                                : scenario::ScenarioConfig{}.period_rounds;
+      return std::make_unique<core::HarvestAwareSkipTrainScheduler>(
+          options.gamma_train, options.gamma_sync, period,
+          /*participation_floor=*/0.15, options.seed);
+    }
+    case Algorithm::kDealDecremental: {
+      std::vector<std::size_t> budgets(fleet.num_nodes());
+      for (std::size_t i = 0; i < fleet.num_nodes(); ++i) {
+        budgets[i] = fleet.budget_rounds(i);
+      }
+      return std::make_unique<core::DecrementalParticipationScheduler>(
+          std::move(budgets), /*alpha=*/1.0, options.seed);
+    }
   }
   throw std::invalid_argument("make_scheduler: unknown algorithm");
 }
@@ -92,8 +115,10 @@ ExperimentResult run_experiment(const data::FederatedData& data,
       spec.model_params, std::move(degrees));
 
   // --- Scheduler & engine -------------------------------------------------
+  const scenario::ScenarioConfig scenario_config =
+      scenario::make_config(options.scenario);
   const std::unique_ptr<core::RoundScheduler> scheduler =
-      make_scheduler(options, fleet);
+      make_scheduler(options, fleet, scenario_config);
   EngineConfig engine_config;
   engine_config.local_steps = options.local_steps;
   engine_config.batch_size = options.batch_size;
@@ -101,6 +126,7 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   engine_config.seed = options.seed;
   engine_config.sparse_exchange_k = options.sparse_exchange_k;
   engine_config.exchange_codec = options.exchange_codec;
+  engine_config.scenario = scenario_config;
   // The engine lives in an optional so an aborted checkpoint restore can
   // rebuild it from scratch (restore mutates state section by section; a
   // file corrupted past the header could otherwise leave a half-restored
@@ -244,6 +270,11 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   result.best_mean_accuracy = result.recorder.best_mean_accuracy();
   result.total_training_wh = engine.accountant().total_training_wh();
   result.total_comm_wh = engine.accountant().total_comm_wh();
+  if (const scenario::FleetScenario* scn = engine.scenario()) {
+    result.mean_availability = scn->mean_availability();
+    result.down_node_rounds = scn->down_steps_total();
+    result.harvested_wh = scn->harvested_mwh_total() / 1000.0;
+  }
   result.final_per_node_accuracy = std::move(last_per_node);
   return result;
 }

@@ -22,6 +22,8 @@ enum class Algorithm {
   kSkipTrain,             // §3.1
   kSkipTrainConstrained,  // §3.2
   kGreedy,                // §3.2 baseline
+  kSkipTrainHarvest,      // harvest-aware: train probability rides daylight
+  kDealDecremental,       // DEAL-style decremental participation
 };
 
 [[nodiscard]] const char* algorithm_name(Algorithm algorithm);
@@ -52,6 +54,12 @@ struct RunOptions {
 
   // Energy model: which paper workload's traces/budgets to charge.
   energy::Workload workload = energy::Workload::kCifar10;
+
+  // Named energy-harvesting/churn scenario (scenario::make_config):
+  // "" | "none" (always powered), "solar", "churn", or "trace:<path>".
+  // Enabled scenarios give every node a battery fed by the harvest
+  // process; nodes brown out, freeze, and re-enter as charge allows.
+  std::string scenario{};
 
   // Scales the canonical τ_i budgets (Table 2). Scaled-horizon experiments
   // should set this to total_rounds / paper_total_rounds so that budgets
@@ -104,6 +112,13 @@ struct ExperimentResult {
 
   /// Coordinated training rounds actually scheduled (≤ total_rounds).
   std::size_t coordinated_training_rounds = 0;
+
+  /// Scenario telemetry (the always-powered defaults when no scenario is
+  /// active): fraction of node-rounds the fleet was up, node-rounds spent
+  /// down, and total energy the harvest process delivered.
+  double mean_availability = 1.0;
+  std::size_t down_node_rounds = 0;
+  double harvested_wh = 0.0;
 
   /// Final per-node test accuracies (index = node id); feeds the §5.1
   /// device-fairness analysis.

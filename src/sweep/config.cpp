@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "quant/codec.hpp"
+#include "scenario/scenario.hpp"
 
 namespace skiptrain::sweep {
 
@@ -25,10 +26,12 @@ sim::Algorithm parse_algorithm(const std::string& name) {
     return sim::Algorithm::kSkipTrainConstrained;
   }
   if (name == "greedy") return sim::Algorithm::kGreedy;
+  if (name == "skiptrain-harvest") return sim::Algorithm::kSkipTrainHarvest;
+  if (name == "deal") return sim::Algorithm::kDealDecremental;
   throw std::invalid_argument(
       "parse_algorithm: unknown algorithm '" + name +
       "' (expected dpsgd|dpsgd-allreduce|skiptrain|skiptrain-constrained|"
-      "greedy)");
+      "greedy|skiptrain-harvest|deal)");
 }
 
 const char* algorithm_token(sim::Algorithm algorithm) {
@@ -43,6 +46,10 @@ const char* algorithm_token(sim::Algorithm algorithm) {
       return "skiptrain-constrained";
     case sim::Algorithm::kGreedy:
       return "greedy";
+    case sim::Algorithm::kSkipTrainHarvest:
+      return "skiptrain-harvest";
+    case sim::Algorithm::kDealDecremental:
+      return "deal";
   }
   return "?";
 }
@@ -265,14 +272,55 @@ SweepGrid make_preset(const std::string& name, const PresetParams& params) {
     if (full) grid.finalize = apply_paper_horizon;
     return grid;
   }
+  if (name == "solar_sensor_fleet") {
+    // Harvest-aware frontier: does riding the diurnal harvest wave beat a
+    // fixed Γ-schedule when batteries are finite — and what does the
+    // always-powered paper setting lose once the sun sets?
+    SweepGrid grid = preset_base(params, /*nodes=*/32, /*rounds=*/96);
+    grid.name = "solar_sensor_fleet";
+    grid.datasets =
+        dataset_axis(params.dataset.empty() ? "cifar" : params.dataset);
+    grid.algorithms = {sim::Algorithm::kSkipTrain,
+                       sim::Algorithm::kSkipTrainHarvest,
+                       sim::Algorithm::kDpsgd};
+    grid.degrees = {6};
+    grid.gamma_trains = {4};
+    grid.gamma_syncs = {4};
+    grid.scenarios = {"none", "solar"};
+    grid.base.eval_every = eval_every != 0 ? eval_every : 24;
+    if (full) grid.finalize = apply_paper_horizon;
+    return grid;
+  }
+  if (name == "churning_phone_fleet") {
+    // Churn stress case: tight batteries and heavy weather force frequent
+    // mid-run dropout/re-entry. Compares budget-aware participation
+    // policies under identical churn.
+    SweepGrid grid = preset_base(params, /*nodes=*/32, /*rounds=*/96);
+    grid.name = "churning_phone_fleet";
+    grid.datasets =
+        dataset_axis(params.dataset.empty() ? "cifar" : params.dataset);
+    grid.algorithms = {sim::Algorithm::kSkipTrainConstrained,
+                       sim::Algorithm::kDealDecremental,
+                       sim::Algorithm::kGreedy};
+    grid.degrees = {6};
+    grid.gamma_trains = {4};
+    grid.gamma_syncs = {4};
+    grid.scenarios = {"churn"};
+    grid.base.eval_every = eval_every != 0 ? eval_every : 24;
+    if (full) grid.finalize = apply_paper_horizon;
+    return grid;
+  }
   throw std::invalid_argument(
       "make_preset: unknown preset '" + name +
-      "' (known: fig3 fig5 fig6 table3 quant smartphone)");
+      "' (known: fig3 fig5 fig6 table3 quant smartphone solar_sensor_fleet "
+      "churning_phone_fleet)");
 }
 
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> kNames = {
-      "fig3", "fig5", "fig6", "table3", "quant", "smartphone"};
+      "fig3",  "fig5",       "fig6",
+      "table3", "quant",      "smartphone",
+      "solar_sensor_fleet",   "churning_phone_fleet"};
   return kNames;
 }
 
@@ -343,6 +391,12 @@ SweepGrid grid_from_kv(
       grid.codecs.clear();
       for (const std::string& token : split_list(value)) {
         grid.codecs.push_back(quant::parse_codec(token));
+      }
+    } else if (key == "scenario" || key == "scenarios") {
+      grid.scenarios.clear();
+      for (const std::string& token : split_list(value)) {
+        (void)scenario::make_config(token);  // validates the name
+        grid.scenarios.push_back(token);
       }
     } else if (key == "rounds") {
       grid.base.total_rounds =

@@ -16,6 +16,7 @@
 //   gamma-sync  = 1..4
 //   seeds       = 42,43,44
 //   codecs      = identity,int8   # exchange wire formats (quant/codec.hpp)
+//   scenarios   = none,solar      # harvest/churn settings (scenario/)
 //   checkpoint-dir   = ckpt/      # crash-resumable sweep (ckpt/trial_store)
 //   checkpoint-every = 25         # in-flight fleet image cadence (rounds)
 //   resume           = true       # skip completed trials on rerun
@@ -39,7 +40,8 @@ namespace skiptrain::sweep {
     std::size_t degree);
 
 /// Parses "dpsgd" | "dpsgd-allreduce" | "skiptrain" |
-/// "skiptrain-constrained" | "greedy". Throws on anything else.
+/// "skiptrain-constrained" | "greedy" | "skiptrain-harvest" | "deal".
+/// Throws on anything else.
 [[nodiscard]] sim::Algorithm parse_algorithm(const std::string& name);
 
 /// Inverse of parse_algorithm (the config-file token, not the display
@@ -65,8 +67,10 @@ struct PresetParams {
 /// Builds the grid behind a paper harness: "fig3" (γ grid), "fig5"
 /// (SkipTrain vs D-PSGD trade-off), "fig6" (energy-constrained
 /// comparison), "table3" (energy + accuracy summary), "quant" (exchange
-/// codec × γ grid), or "smartphone" (the §4.6 example fleet). Throws
-/// std::invalid_argument on unknown names.
+/// codec × γ grid), "smartphone" (the §4.6 example fleet),
+/// "solar_sensor_fleet" (harvest-aware vs fixed schedules under a solar
+/// scenario), or "churning_phone_fleet" (participation policies under
+/// battery churn). Throws std::invalid_argument on unknown names.
 [[nodiscard]] SweepGrid make_preset(const std::string& name,
                                     const PresetParams& params = {});
 

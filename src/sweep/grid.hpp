@@ -14,9 +14,9 @@
 //   auto report = sweep::SweepRunner().run(grid);   // 48 trials
 //
 // Expansion nests, outer to inner: datasets, node_counts, seeds,
-// algorithms, degrees, gamma_syncs, gamma_trains, sparse_ks, codecs. The
-// trial index is the row order of every downstream CSV, independent of
-// which worker finishes first.
+// algorithms, degrees, gamma_syncs, gamma_trains, sparse_ks, codecs,
+// scenarios. The trial index is the row order of every downstream CSV,
+// independent of which worker finishes first.
 #pragma once
 
 #include <cstdint>
@@ -73,6 +73,9 @@ struct SweepGrid {
   std::vector<std::size_t> gamma_trains;
   std::vector<std::size_t> sparse_ks;
   std::vector<quant::Codec> codecs;  // exchange wire formats
+  // Named energy-harvesting/churn scenarios (scenario::make_config
+  // tokens: "none", "solar", "churn", "trace:<path>").
+  std::vector<std::string> scenarios;
 
   /// When set, each trial's budget_scale becomes total_rounds divided by
   /// the workload's paper horizon, so per-device budgets bind at the same

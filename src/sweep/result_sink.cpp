@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "quant/codec.hpp"
+#include "scenario/scenario.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -55,27 +56,39 @@ std::vector<TrialResult> ResultSink::take_rows() {
   return std::move(rows_);
 }
 
-const std::vector<std::string>& ResultSink::csv_header(bool include_codec) {
-  static const std::vector<std::string> kHeader = {
-      "trial",        "dataset",     "nodes",        "algorithm",
-      "degree",       "gamma_train", "gamma_sync",   "sparse_k",
-      "seed",         "rounds",      "status",       "final_accuracy",
-      "std_accuracy", "best_accuracy", "train_energy_wh",
-      "comm_energy_wh", "fleet_budget_wh", "training_rounds",
-      "final_consensus", "error"};
-  static const std::vector<std::string> kHeaderWithCodec = [] {
-    std::vector<std::string> header = kHeader;
-    header.insert(header.begin() + 8, "codec");  // after sparse_k
+const std::vector<std::string>& ResultSink::csv_header(
+    bool include_codec, bool include_scenario) {
+  static const auto make = [](bool codec, bool scenario) {
+    std::vector<std::string> header = {
+        "trial",        "dataset",     "nodes",        "algorithm",
+        "degree",       "gamma_train", "gamma_sync",   "sparse_k",
+        "seed",         "rounds",      "status",       "final_accuracy",
+        "std_accuracy", "best_accuracy", "train_energy_wh",
+        "comm_energy_wh", "fleet_budget_wh", "training_rounds",
+        "final_consensus", "error"};
+    if (scenario) {
+      // Availability precedes consensus; the insert order below puts the
+      // spec-side columns as ..., sparse_k, [codec], scenario, seed, ...
+      header.insert(header.begin() + 18, "availability");
+      header.insert(header.begin() + 8, "scenario");
+    }
+    if (codec) header.insert(header.begin() + 8, "codec");  // after sparse_k
     return header;
-  }();
-  return include_codec ? kHeaderWithCodec : kHeader;
+  };
+  static const std::vector<std::string> kPlain = make(false, false);
+  static const std::vector<std::string> kCodec = make(true, false);
+  static const std::vector<std::string> kScenario = make(false, true);
+  static const std::vector<std::string> kBoth = make(true, true);
+  if (include_codec) return include_scenario ? kBoth : kCodec;
+  return include_scenario ? kScenario : kPlain;
 }
 
 std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
-                                             bool include_codec) {
+                                             bool include_codec,
+                                             bool include_scenario) {
   const TrialSpec& spec = row.spec;
   std::vector<std::string> cells;
-  cells.reserve(csv_header(include_codec).size());
+  cells.reserve(csv_header(include_codec, include_scenario).size());
   cells.push_back(std::to_string(spec.index));
   cells.push_back(spec.data.dataset);
   cells.push_back(std::to_string(spec.data.nodes));
@@ -86,6 +99,9 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
   cells.push_back(std::to_string(spec.options.sparse_exchange_k));
   if (include_codec) {
     cells.push_back(quant::codec_token(spec.options.exchange_codec));
+  }
+  if (include_scenario) {
+    cells.push_back(scenario::scenario_token(spec.options.scenario));
   }
   cells.push_back(std::to_string(spec.options.seed));
   cells.push_back(std::to_string(spec.options.total_rounds));
@@ -98,6 +114,9 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
     cells.push_back(util::format_double(row.result.total_comm_wh));
     cells.push_back(util::format_double(row.result.fleet_budget_wh));
     cells.push_back(std::to_string(row.result.coordinated_training_rounds));
+    if (include_scenario) {
+      cells.push_back(util::format_double(row.result.mean_availability));
+    }
     // Populated only when the grid tracks consensus.
     cells.push_back(row.spec.options.track_consensus &&
                             !row.result.recorder.empty()
@@ -106,7 +125,8 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
                         : "");
     cells.push_back("");
   } else {
-    for (int i = 0; i < 8; ++i) cells.push_back("");
+    const int value_columns = include_scenario ? 9 : 8;
+    for (int i = 0; i < value_columns; ++i) cells.push_back("");
     cells.push_back(row.error);
   }
   return cells;
@@ -114,19 +134,23 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
 
 void write_summary_csv(const std::string& path,
                        const std::vector<TrialResult>& rows) {
-  // The codec column appears only when a trial actually exercises a
-  // non-identity codec — a pure function of the rows, so the bytes stay
-  // deterministic AND pre-quantization grids keep their exact schema.
+  // The codec and scenario columns appear only when some trial actually
+  // exercises them — pure functions of the rows, so the bytes stay
+  // deterministic AND pre-existing grids keep their exact schema.
   bool include_codec = false;
+  bool include_scenario = false;
   for (const TrialResult& row : rows) {
     if (row.spec.options.exchange_codec != quant::Codec::kIdentity) {
       include_codec = true;
-      break;
+    }
+    if (scenario::scenario_token(row.spec.options.scenario) != "none") {
+      include_scenario = true;
     }
   }
-  util::CsvWriter csv(path, ResultSink::csv_header(include_codec));
+  util::CsvWriter csv(path,
+                      ResultSink::csv_header(include_codec, include_scenario));
   for (const TrialResult& row : rows) {
-    csv.write_row(ResultSink::csv_row(row, include_codec));
+    csv.write_row(ResultSink::csv_row(row, include_codec, include_scenario));
   }
 }
 

@@ -44,13 +44,16 @@ class ResultSink {
 
   /// Summary-CSV schema shared by the sink and SweepReport. Deliberately
   /// excludes wall-clock so the bytes are reproducible run-to-run. The
-  /// codec column exists only when requested: write_summary_csv includes
-  /// it iff some row uses a non-identity exchange codec, so grids that
-  /// never touch the codec axis keep the pre-quantization bytes exactly.
+  /// codec and scenario columns exist only when requested:
+  /// write_summary_csv includes each iff some row uses a non-identity
+  /// codec / a non-"none" scenario, so grids that never touch those axes
+  /// keep their pre-existing bytes exactly. The scenario flag also adds
+  /// an availability column (fraction of node-rounds the fleet was up).
   static const std::vector<std::string>& csv_header(
-      bool include_codec = false);
+      bool include_codec = false, bool include_scenario = false);
   static std::vector<std::string> csv_row(const TrialResult& row,
-                                          bool include_codec = false);
+                                          bool include_codec = false,
+                                          bool include_scenario = false);
 
  private:
   mutable std::mutex mutex_;

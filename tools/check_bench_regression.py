@@ -17,8 +17,15 @@ Two kinds of checks against the committed baseline
   machine; rows slower than warn_factor x the recorded time emit a GitHub
   ::warning:: (absolute times are machine-dependent, so they never fail).
 
+* "required" — HARD presence gate. Each entry is a benchmark row name that
+  must exist in the report. This catches silent coverage loss: a renamed
+  benchmark, a --quick filter that stopped matching, or a registration
+  that got dropped would otherwise make every ratio/absolute check vanish
+  while CI stays green.
+
 Usage: check_bench_regression.py BENCH_aggregate.json bench_baseline.json
-Exit status: 0 ok, 1 a hard pair gate failed, 2 input malformed.
+Exit status: 0 ok, 1 a hard gate (pair or required row) failed,
+2 input malformed.
 """
 
 import json
@@ -53,6 +60,15 @@ def main(argv):
         return 2
 
     failed = False
+    for name in baseline.get("required", []):
+        if name in rows:
+            print(f"[present] {name}")
+        else:
+            print(f"::error::bench gate: required row {name} missing from "
+                  f"{argv[1]} (renamed benchmark or filter no longer "
+                  f"matches?)")
+            failed = True
+
     for pair in baseline.get("pairs", []):
         opt, ref = pair["optimized"], pair["reference"]
         want = float(pair["min_speedup"])
