@@ -5,12 +5,14 @@
 //
 // Results are written to BENCH_aggregate.json (override with
 // --benchmark_out=...) so CI records the gossip-kernel perf trajectory
-// per PR. `--quick` runs the aggregate-phase, exchange-codec,
-// fleet-checkpoint, scenario/harvest, kernel-layer GEMM, and Conv2d
-// grids at a short min-time — the mode the CI Release job uses; the
-// GEMM/Conv rows feed the bench regression gate
+// per PR. `--quick` runs the aggregate-phase, large-fleet sharded-gossip,
+// exchange-codec, fleet-checkpoint, scenario/harvest, kernel-layer GEMM,
+// and Conv2d grids at a short min-time — the mode the CI Release job
+// uses; the GEMM/Conv/Gossip rows feed the bench regression gate
 // (tools/check_bench_regression.py).
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -20,7 +22,9 @@
 #include <vector>
 
 #include "core/skiptrain.hpp"
+#include "graph/sparse.hpp"
 #include "plane/plane.hpp"
+#include "plane/sharded.hpp"
 
 namespace {
 
@@ -267,6 +271,53 @@ BENCHMARK(BM_AggregatePlaneBlocked)
     ->Args({64, 2752})
     ->Args({16, 100000})
     ->Args({64, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Large-fleet sharded gossip: the row-sharded kernel on an implicit
+// k-regular topology over a huge-page ShardedPlane. The headline row is
+// n = 100k, dim = 1024 — a fleet whose dense adjacency (10^10 entries)
+// could never be materialized; topology memory stays O(n·k) and the
+// peak_rss_mb counter (getrusage max RSS) documents that the process
+// footprint is the two plane buffers + O(n·k) mixing, nothing quadratic.
+// Runs under --quick; the regression gate checks the rows exist and warns
+// when peak RSS drifts.
+// ---------------------------------------------------------------------------
+
+void BM_GossipSharded(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const std::size_t k = 6;
+  const graph::ImplicitKRegular topology(nodes, k, /*seed=*/91);
+  const auto mixing = graph::SparseMixing::metropolis_hastings(topology);
+  plane::ShardedPlane fleet_plane(nodes, dim);
+  // Deterministic fill, touched in parallel: rng-normal would dominate
+  // setup at 10^8 floats, and the values only need to be nonuniform.
+  util::parallel_for(0, nodes, [&](std::size_t i) {
+    auto row = fleet_plane.current_row(i);
+    for (std::size_t j = 0; j < dim; ++j) {
+      row[j] = 1e-3f * static_cast<float>((i * 131 + j * 7) % 997);
+    }
+  });
+  for (auto _ : state) {
+    plane::apply_mixing_sharded(mixing, fleet_plane);
+    benchmark::DoNotOptimize(fleet_plane.current_row(0).data());
+  }
+  // Gossip streams (k + 1) row reads plus 1 row write per node.
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(nodes * dim * sizeof(float) * (k + 2)));
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  state.counters["peak_rss_mb"] = benchmark::Counter(
+      static_cast<double>(usage.ru_maxrss) / 1024.0,
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_GossipSharded)
+    ->Args({1000, 1024})
+    ->Args({10000, 1024})
+    ->Args({100000, 1024})
+    ->UseRealTime()  // the kernel runs on pool workers, not this thread
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
@@ -592,7 +643,7 @@ int main(int argc, char** argv) {
   }
   if (quick) {
     args.insert(args.begin() + 1,
-                "--benchmark_filter=BM_Aggregate|BM_Codec|BM_Checkpoint|BM_Harvest|BM_Scenario|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d");
+                "--benchmark_filter=BM_Aggregate|BM_Gossip|BM_Codec|BM_Checkpoint|BM_Harvest|BM_Scenario|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d");
     args.insert(args.begin() + 1, "--benchmark_min_time=0.05");
   }
   const bool has_out =

@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
                        "file) on the trial-parallel sweep runner");
   args.add_string("preset", "",
                   "paper preset: fig3 | fig5 | fig6 | table3 | quant | "
-                  "smartphone | solar_sensor_fleet | churning_phone_fleet");
+                  "smartphone | solar_sensor_fleet | churning_phone_fleet | "
+                  "large_fleet");
   args.add_string("config", "", "key=value grid config file");
   args.add_string("csv", "", "summary CSV path (default <name>_sweep.csv)");
   args.add_flag("list", "print the expanded trial list and exit");

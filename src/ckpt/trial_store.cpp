@@ -7,6 +7,7 @@
 
 #include "ckpt/fleet_image.hpp"
 #include "ckpt/io.hpp"
+#include "graph/sparse.hpp"
 #include "quant/codec.hpp"
 #include "scenario/scenario.hpp"
 #include "sweep/config.hpp"
@@ -47,6 +48,7 @@ std::string trial_fingerprint(const sweep::TrialSpec& spec) {
   fp += "|k=" + std::to_string(o.sparse_exchange_k);
   fp += "|codec=" + std::string(quant::codec_token(o.exchange_codec));
   fp += "|scn=" + scenario::scenario_token(o.scenario);
+  fp += "|topo=" + graph::topology_token(o.topology);
   fp += "|wl=" + std::to_string(static_cast<int>(o.workload));
   fp += "|bs=" + hex_float(o.budget_scale);
   fp += "|ee=" + std::to_string(o.eval_every);

@@ -4,6 +4,7 @@
 
 #include "core/compression.hpp"
 #include "graph/mixing.hpp"
+#include "graph/sparse.hpp"
 
 namespace skiptrain::plane {
 
@@ -33,6 +34,29 @@ void apply_mixing_from(const graph::MixingMatrix& mixing,
     throw std::invalid_argument("plane::apply_mixing_from: source shape");
   }
   graph::apply_mixing_blocked(mixing, source.flat(),
+                              plane.back().view().flat(), plane.dim(),
+                              block_floats);
+  plane.flip();
+}
+
+void apply_mixing(const graph::MixingRef& mixing, ParameterPlane& plane,
+                  std::size_t block_floats) {
+  apply_mixing_from(mixing, plane.current().view(), plane, block_floats);
+}
+
+void apply_mixing_from(const graph::MixingRef& mixing, ConstMatrixView source,
+                       ParameterPlane& plane, std::size_t block_floats) {
+  if (!mixing.is_sparse()) {
+    apply_mixing_from(*mixing.dense, source, plane, block_floats);
+    return;
+  }
+  if (mixing.num_nodes() != plane.nodes()) {
+    throw std::invalid_argument("plane::apply_mixing: node count mismatch");
+  }
+  if (source.rows != plane.nodes() || source.dim != plane.dim()) {
+    throw std::invalid_argument("plane::apply_mixing_from: source shape");
+  }
+  graph::apply_mixing_sharded(mixing, source.flat(),
                               plane.back().view().flat(), plane.dim(),
                               block_floats);
   plane.flip();

@@ -17,10 +17,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
+
+#include "util/arena.hpp"
 
 namespace skiptrain::graph {
 class MixingMatrix;
+struct MixingRef;
 }
 
 namespace skiptrain::plane {
@@ -56,30 +58,34 @@ struct MatrixView {
 /// One owned [rows × dim] matrix whose rows serve as parameter arenas
 /// (model rows, async outboxes, compact staging pools). Rows never
 /// reallocate after construction, so bound layer views stay valid for the
-/// arena's lifetime.
+/// arena's lifetime. Storage sits on a util::AlignedArena: row 0 starts on
+/// a 64-byte boundary, large planes are huge-page backed, and contents are
+/// zero-initialized (matching the std::vector semantics this replaced).
+/// Move-only, like the arena underneath.
 class RowArena {
  public:
   RowArena() = default;
-  RowArena(std::size_t rows, std::size_t dim)
-      : rows_(rows), dim_(dim), data_(rows * dim, 0.0f) {}
+  RowArena(std::size_t rows, std::size_t dim,
+           util::AlignedArena::Touch touch = util::AlignedArena::Touch::kNone)
+      : rows_(rows), dim_(dim), arena_(rows * dim * sizeof(float), touch) {}
 
   std::size_t rows() const { return rows_; }
   std::size_t dim() const { return dim_; }
 
   std::span<float> row(std::size_t i) {
-    return {data_.data() + i * dim_, dim_};
+    return {arena_.floats() + i * dim_, dim_};
   }
   std::span<const float> row(std::size_t i) const {
-    return {data_.data() + i * dim_, dim_};
+    return {arena_.floats() + i * dim_, dim_};
   }
 
-  MatrixView view() { return {data_.data(), rows_, dim_}; }
-  ConstMatrixView view() const { return {data_.data(), rows_, dim_}; }
+  MatrixView view() { return {arena_.floats(), rows_, dim_}; }
+  ConstMatrixView view() const { return {arena_.floats(), rows_, dim_}; }
 
  private:
   std::size_t rows_ = 0;
   std::size_t dim_ = 0;
-  std::vector<float> data_;
+  util::AlignedArena arena_;
 };
 
 /// Double-buffered fleet storage: current() holds the newest parameters,
@@ -132,5 +138,16 @@ void apply_mixing(const graph::MixingMatrix& mixing, ParameterPlane& plane,
 void apply_mixing_from(const graph::MixingMatrix& mixing,
                        ConstMatrixView source, ParameterPlane& plane,
                        std::size_t block_floats = 0);
+
+/// MixingRef dispatch of the two entry points above: a dense handle runs
+/// the column-blocked kernel (byte-identical to the overloads taking a
+/// MixingMatrix), a sparse handle runs the row-sharded kernel
+/// (graph::apply_mixing_sharded) — the large-fleet path where column
+/// blocking runs out of parallelism. `block_floats` is forwarded as the
+/// block/shard size of whichever kernel runs (0 = automatic).
+void apply_mixing(const graph::MixingRef& mixing, ParameterPlane& plane,
+                  std::size_t block_floats = 0);
+void apply_mixing_from(const graph::MixingRef& mixing, ConstMatrixView source,
+                       ParameterPlane& plane, std::size_t block_floats = 0);
 
 }  // namespace skiptrain::plane

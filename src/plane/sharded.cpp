@@ -1,0 +1,71 @@
+#include "plane/sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace skiptrain::plane {
+
+ShardedPlane::ShardedPlane(std::size_t nodes, std::size_t dim,
+                           std::size_t shard_rows,
+                           util::AlignedArena::Touch touch)
+    : nodes_(nodes), dim_(dim), shard_rows_(shard_rows) {
+  if (nodes == 0 || dim == 0) {
+    throw std::invalid_argument("ShardedPlane: empty plane");
+  }
+  if (shard_rows_ == 0) {
+    // One shard buffer ≈ one 2 MiB huge page (and at least one row).
+    shard_rows_ = std::max<std::size_t>(
+        1, util::AlignedArena::kHugeThreshold / (dim * sizeof(float)));
+  }
+  shard_rows_ = std::min(shard_rows_, nodes_);
+  const std::size_t num_shards = (nodes_ + shard_rows_ - 1) / shard_rows_;
+  shards_.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t rows = rows_in_shard(s);
+    shards_[s].buffers[0] =
+        util::AlignedArena(rows * dim_ * sizeof(float), touch);
+    shards_[s].buffers[1] =
+        util::AlignedArena(rows * dim_ * sizeof(float), touch);
+    shards_[s].scratch = util::AlignedArena(dim_ * sizeof(float));
+  }
+}
+
+std::size_t ShardedPlane::rows_in_shard(std::size_t shard) const {
+  const std::size_t begin = shard_begin(shard);
+  return std::min(shard_rows_, nodes_ - begin);
+}
+
+std::span<float> ShardedPlane::row_in(std::size_t which,
+                                      std::size_t node) const {
+  const std::size_t shard = node / shard_rows_;
+  const std::size_t local = node - shard * shard_rows_;
+  return {shards_[shard].buffers[which].floats() + local * dim_, dim_};
+}
+
+std::span<float> ShardedPlane::shard_scratch(std::size_t shard) {
+  return {shards_[shard].scratch.floats(), dim_};
+}
+
+void apply_mixing_sharded(const graph::MixingRef& mixing,
+                          ShardedPlane& plane) {
+  if (mixing.num_nodes() != plane.nodes()) {
+    throw std::invalid_argument(
+        "plane::apply_mixing_sharded: node count mismatch");
+  }
+  const ShardedPlane& source = plane;
+  const auto half_row = [&source](std::size_t node) {
+    return source.current_row(node);
+  };
+  util::parallel_for(0, plane.num_shards(), [&](std::size_t s) {
+    const std::size_t begin = plane.shard_begin(s);
+    const std::size_t end = begin + plane.rows_in_shard(s);
+    for (std::size_t i = begin; i < end; ++i) {
+      graph::mix_row(mixing, i, half_row, plane.back_row(i));
+    }
+  });
+  plane.flip();
+}
+
+}  // namespace skiptrain::plane

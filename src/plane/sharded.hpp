@@ -1,0 +1,84 @@
+// Row-sharded, double-buffered fleet storage for huge fleets.
+//
+// A single flat ParameterPlane is one allocation; fine until the fleet
+// outgrows one memory controller. ShardedPlane splits the [n × dim] plane
+// into contiguous row shards, each shard owning its own pair of
+// util::AlignedArena buffers (huge-page backed, 64-byte aligned) plus a
+// shard-local scratch row — so the gossip hot loop writes only its own
+// shard's back buffer and stages only in its own shard's scratch; the only
+// cross-shard traffic is the inherent neighbor-row reads of gossip itself.
+// With Touch::kInterleave each shard's pages are first-touched in parallel
+// across the pool workers, spreading a large plane over the sockets that
+// will stream it.
+//
+// The engines keep using the flat ParameterPlane (its single contiguous
+// blob is the checkpoint-image layout); ShardedPlane is the substrate for
+// the large-fleet bench rows and for future shard-per-process modes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/sparse.hpp"
+#include "util/arena.hpp"
+
+namespace skiptrain::plane {
+
+class ShardedPlane {
+ public:
+  /// `shard_rows` = 0 sizes shards so one buffer is ~one 2 MiB huge page.
+  ShardedPlane(std::size_t nodes, std::size_t dim, std::size_t shard_rows = 0,
+               util::AlignedArena::Touch touch =
+                   util::AlignedArena::Touch::kInterleave);
+
+  std::size_t nodes() const { return nodes_; }
+  std::size_t dim() const { return dim_; }
+  std::size_t shard_rows() const { return shard_rows_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t shard_of(std::size_t node) const { return node / shard_rows_; }
+  std::size_t shard_begin(std::size_t shard) const {
+    return shard * shard_rows_;
+  }
+  std::size_t rows_in_shard(std::size_t shard) const;
+
+  std::span<float> current_row(std::size_t node) {
+    return row_in(cur_, node);
+  }
+  std::span<const float> current_row(std::size_t node) const {
+    return row_in(cur_, node);
+  }
+  std::span<float> back_row(std::size_t node) {
+    return row_in(1 - cur_, node);
+  }
+
+  /// One dim-float staging row owned by the shard — codec/gather staging
+  /// that never leaves the shard's own pages.
+  std::span<float> shard_scratch(std::size_t shard);
+
+  void flip() { cur_ = 1 - cur_; }
+
+ private:
+  struct Shard {
+    util::AlignedArena buffers[2];
+    util::AlignedArena scratch;
+  };
+
+  std::span<float> row_in(std::size_t which, std::size_t node) const;
+
+  std::size_t nodes_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t shard_rows_ = 0;
+  std::size_t cur_ = 0;
+  std::vector<Shard> shards_;
+};
+
+/// One gossip round over the sharded plane: every shard's rows are reduced
+/// by its own pool task (shard-affine: one worker streams one shard's
+/// output end to end), reading neighbor rows across shards, then the
+/// buffers flip. Row reductions use graph::mix_row, so the result is
+/// bitwise identical to the flat blocked/sharded kernels on the same
+/// mixing weights.
+void apply_mixing_sharded(const graph::MixingRef& mixing, ShardedPlane& plane);
+
+}  // namespace skiptrain::plane

@@ -90,6 +90,16 @@ void AsyncGossipEngine::run_until(double horizon_seconds) {
 }
 
 detail::EngineIdentity AsyncGossipEngine::identity() const {
+  // Fold the scenario fingerprint and any non-dense topology identity into
+  // the aux bits when active; both disabled keeps the original bytes.
+  std::uint64_t aux =
+      std::bit_cast<std::uint64_t>(config_.sync_duration_factor);
+  if (scenario_ != nullptr) {
+    aux = util::hash_combine(aux, scenario_->config_hash());
+  }
+  if (config_.topology_hash != 0) {
+    aux = util::hash_combine(aux, config_.topology_hash);
+  }
   return detail::EngineIdentity{nodes_.size(),
                                 models_.dim(),
                                 config_.seed,
@@ -99,16 +109,7 @@ detail::EngineIdentity AsyncGossipEngine::identity() const {
                                 config_.batch_size,
                                 std::bit_cast<std::uint32_t>(
                                     config_.learning_rate),
-                                // Fold the scenario fingerprint into the
-                                // aux bits when enabled; disabled keeps
-                                // the pre-scenario identity bytes.
-                                scenario_ != nullptr
-                                    ? util::hash_combine(
-                                          std::bit_cast<std::uint64_t>(
-                                              config_.sync_duration_factor),
-                                          scenario_->config_hash())
-                                    : std::bit_cast<std::uint64_t>(
-                                          config_.sync_duration_factor),
+                                aux,
                                 scheduler_.name()};
 }
 

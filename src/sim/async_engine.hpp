@@ -60,6 +60,14 @@ struct AsyncConfig {
   /// accountant's CommModel via quant::comm_model_for(exchange_codec).
   quant::Codec exchange_codec = quant::Codec::kIdentity;
 
+  /// Identity of a non-dense topology (ImplicitKRegular::config_hash or a
+  /// CsrGraph content hash) — see EngineConfig::topology_hash. Sparse
+  /// topologies reach the async engine as a materialized O(n·k) Topology
+  /// (ImplicitKRegular/CsrGraph::materialize(), owned by the caller);
+  /// total async memory stays O(n·dim) models/outbox + O(n·k) adjacency.
+  /// 0 (the default) keeps pre-topology-axis images byte-compatible.
+  std::uint64_t topology_hash = 0;
+
   /// Energy-harvesting/churn scenario (scenario/scenario.hpp). Disabled
   /// (the default) keeps the pre-scenario event loop byte-for-byte.
   /// Enabled, a node's battery steps on its LOCAL activation clock: a

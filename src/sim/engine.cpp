@@ -7,13 +7,14 @@
 
 #include "sim/state_io.hpp"
 #include "tensor/ops.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace skiptrain::sim {
 
 RoundEngine::RoundEngine(const nn::Sequential& prototype,
                          const data::FederatedData& data,
-                         const graph::MixingMatrix& mixing,
+                         graph::MixingRef mixing,
                          const core::RoundScheduler& scheduler,
                          energy::EnergyAccountant accountant,
                          EngineConfig config)
@@ -274,6 +275,15 @@ void RoundEngine::run_rounds(std::size_t count) {
 /// differs from this engine's (wrong seed/codec/schedule would silently
 /// break the bit-identical resume contract).
 detail::EngineIdentity RoundEngine::identity() const {
+  // Scenario configuration is part of the identity: resuming a churn run
+  // under a different battery/harvest model would silently diverge. So is
+  // a non-dense topology (different gossip graph ⇒ different fixed point).
+  // Both contribute 0 when inactive, keeping older images byte-compatible.
+  std::uint64_t aux =
+      scenario_ != nullptr ? scenario_->config_hash() : 0;
+  if (config_.topology_hash != 0) {
+    aux = util::hash_combine(aux, config_.topology_hash);
+  }
   return detail::EngineIdentity{nodes_.size(),
                                 plane_.dim(),
                                 config_.seed,
@@ -283,13 +293,7 @@ detail::EngineIdentity RoundEngine::identity() const {
                                 config_.batch_size,
                                 std::bit_cast<std::uint32_t>(
                                     config_.learning_rate),
-                                // Scenario configuration is part of the
-                                // identity: resuming a churn run under a
-                                // different battery/harvest model would
-                                // silently diverge. 0 when disabled keeps
-                                // pre-scenario images byte-compatible.
-                                scenario_ != nullptr ? scenario_->config_hash()
-                                                     : 0,
+                                aux,
                                 scheduler_.name()};
 }
 

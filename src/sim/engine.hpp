@@ -35,6 +35,7 @@
 #include "data/dataset.hpp"
 #include "energy/accountant.hpp"
 #include "graph/mixing.hpp"
+#include "graph/sparse.hpp"
 #include "nn/sequential.hpp"
 #include "plane/plane.hpp"
 #include "quant/codec.hpp"
@@ -75,6 +76,12 @@ struct EngineConfig {
   /// quant::comm_model_for(exchange_codec).
   quant::Codec exchange_codec = quant::Codec::kIdentity;
 
+  /// Identity of a non-dense topology (ImplicitKRegular::config_hash or a
+  /// CsrGraph content hash). Folded into the checkpoint-image identity so
+  /// a resume under a different gossip graph is refused; 0 (the dense
+  /// default) keeps pre-topology-axis images byte-compatible.
+  std::uint64_t topology_hash = 0;
+
   /// Energy-harvesting/churn scenario (scenario/scenario.hpp). Disabled
   /// (the default) keeps every pre-scenario code path — and its bytes —
   /// untouched. Enabled, each node pays its battery for training and
@@ -88,10 +95,12 @@ class RoundEngine {
  public:
   /// All reference parameters must outlive the engine. `prototype`
   /// supplies the shared initial model x⁰ (cloned per node, then bound
-  /// onto this engine's parameter plane).
+  /// onto this engine's parameter plane). `mixing` converts implicitly
+  /// from a MixingMatrix (dense) or a SparseMixing (kregular/csr
+  /// topologies — aggregation then runs the row-sharded kernel); the
+  /// referenced mixing must outlive the engine either way.
   RoundEngine(const nn::Sequential& prototype, const data::FederatedData& data,
-              const graph::MixingMatrix& mixing,
-              const core::RoundScheduler& scheduler,
+              graph::MixingRef mixing, const core::RoundScheduler& scheduler,
               energy::EnergyAccountant accountant, EngineConfig config);
 
   struct RoundOutcome {
@@ -150,7 +159,7 @@ class RoundEngine {
  private:
   detail::EngineIdentity identity() const;
 
-  const graph::MixingMatrix& mixing_;
+  graph::MixingRef mixing_;
   const core::RoundScheduler& scheduler_;
   energy::EnergyAccountant accountant_;
   EngineConfig config_;

@@ -37,6 +37,15 @@ struct RunOptions {
   // Topology: random d-regular graph (the paper's setting).
   std::size_t degree = 6;
 
+  // Topology axis (graph::TopologySpec): "" | "dense" keeps the paper's
+  // materialized random d-regular graph above; "kregular:<k>" switches to
+  // the implicit seed-derived k-regular circulant (O(k) topology state,
+  // row-sharded aggregation — the large-fleet path); "csr:<path>" loads an
+  // arbitrary sparse graph from a CSR file. Non-dense topologies bill
+  // exchange energy at their actual per-node neighbor counts and are
+  // incompatible with Algorithm::kDpsgdAllReduce.
+  std::string topology{};
+
   // Local training (Table 1 analogues; defaults are the scaled config).
   std::size_t local_steps = 5;
   std::size_t batch_size = 32;

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "graph/sparse.hpp"
 #include "quant/codec.hpp"
 #include "scenario/scenario.hpp"
 
@@ -291,6 +292,33 @@ SweepGrid make_preset(const std::string& name, const PresetParams& params) {
     if (full) grid.finalize = apply_paper_horizon;
     return grid;
   }
+  if (name == "large_fleet") {
+    // Scale-out smoke: a 10k-node fleet on the implicit k-regular topology
+    // exercises the row-sharded gossip path end to end (O(n·k) topology
+    // memory, sparse comm billing) at a size the dense adjacency could
+    // never reach. The workload knobs are deliberately tiny — the point is
+    // the n, not the learning curve.
+    SweepGrid grid = preset_base(params, /*nodes=*/10000, /*rounds=*/4);
+    grid.name = "large_fleet";
+    grid.datasets =
+        dataset_axis(params.dataset.empty() ? "cifar" : params.dataset);
+    grid.algorithms = {sim::Algorithm::kSkipTrain};
+    grid.degrees = {6};
+    grid.gamma_trains = {2};
+    grid.gamma_syncs = {2};
+    grid.topologies = {"kregular:6"};
+    grid.base.local_steps = 1;
+    grid.base.batch_size = 4;
+    grid.data.samples_per_node = 8;
+    grid.data.test_pool = 400;
+    grid.base.eval_max_samples = 64;
+    grid.finalize = [eval_every](TrialSpec& spec) {
+      spec.options.eval_every =
+          eval_every != 0 ? eval_every
+                          : spec.options.total_rounds;  // endpoint only
+    };
+    return grid;
+  }
   if (name == "churning_phone_fleet") {
     // Churn stress case: tight batteries and heavy weather force frequent
     // mid-run dropout/re-entry. Compares budget-aware participation
@@ -313,14 +341,15 @@ SweepGrid make_preset(const std::string& name, const PresetParams& params) {
   throw std::invalid_argument(
       "make_preset: unknown preset '" + name +
       "' (known: fig3 fig5 fig6 table3 quant smartphone solar_sensor_fleet "
-      "churning_phone_fleet)");
+      "churning_phone_fleet large_fleet)");
 }
 
 const std::vector<std::string>& preset_names() {
   static const std::vector<std::string> kNames = {
       "fig3",  "fig5",       "fig6",
       "table3", "quant",      "smartphone",
-      "solar_sensor_fleet",   "churning_phone_fleet"};
+      "solar_sensor_fleet",   "churning_phone_fleet",
+      "large_fleet"};
   return kNames;
 }
 
@@ -397,6 +426,12 @@ SweepGrid grid_from_kv(
       for (const std::string& token : split_list(value)) {
         (void)scenario::make_config(token);  // validates the name
         grid.scenarios.push_back(token);
+      }
+    } else if (key == "topology" || key == "topologies") {
+      grid.topologies.clear();
+      for (const std::string& token : split_list(value)) {
+        (void)graph::TopologySpec::parse(token);  // validates the token
+        grid.topologies.push_back(token);
       }
     } else if (key == "rounds") {
       grid.base.total_rounds =

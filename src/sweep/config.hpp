@@ -17,6 +17,7 @@
 //   seeds       = 42,43,44
 //   codecs      = identity,int8   # exchange wire formats (quant/codec.hpp)
 //   scenarios   = none,solar      # harvest/churn settings (scenario/)
+//   topologies  = dense,kregular:6  # gossip graphs (graph/sparse.hpp)
 //   checkpoint-dir   = ckpt/      # crash-resumable sweep (ckpt/trial_store)
 //   checkpoint-every = 25         # in-flight fleet image cadence (rounds)
 //   resume           = true       # skip completed trials on rerun
@@ -69,8 +70,9 @@ struct PresetParams {
 /// comparison), "table3" (energy + accuracy summary), "quant" (exchange
 /// codec × γ grid), "smartphone" (the §4.6 example fleet),
 /// "solar_sensor_fleet" (harvest-aware vs fixed schedules under a solar
-/// scenario), or "churning_phone_fleet" (participation policies under
-/// battery churn). Throws std::invalid_argument on unknown names.
+/// scenario), "churning_phone_fleet" (participation policies under
+/// battery churn), or "large_fleet" (10k-node implicit k-regular
+/// scale-out smoke). Throws std::invalid_argument on unknown names.
 [[nodiscard]] SweepGrid make_preset(const std::string& name,
                                     const PresetParams& params = {});
 

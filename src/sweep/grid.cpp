@@ -43,6 +43,7 @@ std::size_t SweepGrid::trial_count() const {
   mul(sparse_ks.size());
   mul(codecs.size());
   mul(scenarios.size());
+  mul(topologies.size());
   return count;
 }
 
@@ -57,6 +58,7 @@ std::vector<TrialSpec> SweepGrid::expand() const {
   const auto sparse_axis = axis_or(sparse_ks, base.sparse_exchange_k);
   const auto codec_axis = axis_or(codecs, base.exchange_codec);
   const auto scenario_axis = axis_or(scenarios, base.scenario);
+  const auto topology_axis = axis_or(topologies, base.topology);
 
   std::vector<TrialSpec> trials;
   trials.reserve(trial_count());
@@ -71,30 +73,34 @@ std::vector<TrialSpec> SweepGrid::expand() const {
                 for (const std::size_t sparse_k : sparse_axis) {
                   for (const quant::Codec codec : codec_axis) {
                     for (const std::string& scenario : scenario_axis) {
-                      TrialSpec spec;
-                      spec.index = trials.size();
-                      spec.data = data;
-                      spec.data.dataset = dataset;
-                      spec.data.nodes = nodes;
-                      spec.data.seed = seed;
-                      spec.options = base;
-                      spec.options.workload = workload;
-                      spec.options.seed = seed;
-                      spec.options.algorithm = algorithm;
-                      spec.options.degree = degree;
-                      spec.options.gamma_sync = gamma_sync;
-                      spec.options.gamma_train = gamma_train;
-                      spec.options.sparse_exchange_k = sparse_k;
-                      spec.options.exchange_codec = codec;
-                      spec.options.scenario = scenario;
-                      if (finalize) finalize(spec);
-                      if (scale_budgets_to_paper) {
-                        spec.options.budget_scale =
-                            static_cast<double>(spec.options.total_rounds) /
-                            static_cast<double>(
-                                energy::workload_spec(workload).total_rounds);
+                      for (const std::string& topology : topology_axis) {
+                        TrialSpec spec;
+                        spec.index = trials.size();
+                        spec.data = data;
+                        spec.data.dataset = dataset;
+                        spec.data.nodes = nodes;
+                        spec.data.seed = seed;
+                        spec.options = base;
+                        spec.options.workload = workload;
+                        spec.options.seed = seed;
+                        spec.options.algorithm = algorithm;
+                        spec.options.degree = degree;
+                        spec.options.gamma_sync = gamma_sync;
+                        spec.options.gamma_train = gamma_train;
+                        spec.options.sparse_exchange_k = sparse_k;
+                        spec.options.exchange_codec = codec;
+                        spec.options.scenario = scenario;
+                        spec.options.topology = topology;
+                        if (finalize) finalize(spec);
+                        if (scale_budgets_to_paper) {
+                          spec.options.budget_scale =
+                              static_cast<double>(spec.options.total_rounds) /
+                              static_cast<double>(energy::workload_spec(
+                                                      workload)
+                                                      .total_rounds);
+                        }
+                        trials.push_back(std::move(spec));
                       }
-                      trials.push_back(std::move(spec));
                     }
                   }
                 }

@@ -15,8 +15,8 @@
 //
 // Expansion nests, outer to inner: datasets, node_counts, seeds,
 // algorithms, degrees, gamma_syncs, gamma_trains, sparse_ks, codecs,
-// scenarios. The trial index is the row order of every downstream CSV,
-// independent of which worker finishes first.
+// scenarios, topologies. The trial index is the row order of every
+// downstream CSV, independent of which worker finishes first.
 #pragma once
 
 #include <cstdint>
@@ -76,6 +76,9 @@ struct SweepGrid {
   // Named energy-harvesting/churn scenarios (scenario::make_config
   // tokens: "none", "solar", "churn", "trace:<path>").
   std::vector<std::string> scenarios;
+  // Gossip-graph representations (graph::TopologySpec tokens: "dense",
+  // "kregular:<k>", "csr:<path>").
+  std::vector<std::string> topologies;
 
   /// When set, each trial's budget_scale becomes total_rounds divided by
   /// the workload's paper horizon, so per-device budgets bind at the same

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "graph/sparse.hpp"
 #include "quant/codec.hpp"
 #include "scenario/scenario.hpp"
 #include "util/csv.hpp"
@@ -57,8 +58,8 @@ std::vector<TrialResult> ResultSink::take_rows() {
 }
 
 const std::vector<std::string>& ResultSink::csv_header(
-    bool include_codec, bool include_scenario) {
-  static const auto make = [](bool codec, bool scenario) {
+    bool include_codec, bool include_scenario, bool include_topology) {
+  static const auto make = [](bool codec, bool scenario, bool topology) {
     std::vector<std::string> header = {
         "trial",        "dataset",     "nodes",        "algorithm",
         "degree",       "gamma_train", "gamma_sync",   "sparse_k",
@@ -68,27 +69,33 @@ const std::vector<std::string>& ResultSink::csv_header(
         "final_consensus", "error"};
     if (scenario) {
       // Availability precedes consensus; the insert order below puts the
-      // spec-side columns as ..., sparse_k, [codec], scenario, seed, ...
+      // spec-side columns as ..., sparse_k, topology, [codec], scenario,
+      // seed, ... (topology inserted last so it lands right after
+      // sparse_k).
       header.insert(header.begin() + 18, "availability");
       header.insert(header.begin() + 8, "scenario");
     }
     if (codec) header.insert(header.begin() + 8, "codec");  // after sparse_k
+    if (topology) header.insert(header.begin() + 8, "topology");
     return header;
   };
-  static const std::vector<std::string> kPlain = make(false, false);
-  static const std::vector<std::string> kCodec = make(true, false);
-  static const std::vector<std::string> kScenario = make(false, true);
-  static const std::vector<std::string> kBoth = make(true, true);
-  if (include_codec) return include_scenario ? kBoth : kCodec;
-  return include_scenario ? kScenario : kPlain;
+  static const std::vector<std::string> kCombos[2][2][2] = {
+      {{make(false, false, false), make(false, false, true)},
+       {make(false, true, false), make(false, true, true)}},
+      {{make(true, false, false), make(true, false, true)},
+       {make(true, true, false), make(true, true, true)}}};
+  return kCombos[include_codec ? 1 : 0][include_scenario ? 1 : 0]
+                [include_topology ? 1 : 0];
 }
 
 std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
                                              bool include_codec,
-                                             bool include_scenario) {
+                                             bool include_scenario,
+                                             bool include_topology) {
   const TrialSpec& spec = row.spec;
   std::vector<std::string> cells;
-  cells.reserve(csv_header(include_codec, include_scenario).size());
+  cells.reserve(
+      csv_header(include_codec, include_scenario, include_topology).size());
   cells.push_back(std::to_string(spec.index));
   cells.push_back(spec.data.dataset);
   cells.push_back(std::to_string(spec.data.nodes));
@@ -97,6 +104,9 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
   cells.push_back(std::to_string(spec.options.gamma_train));
   cells.push_back(std::to_string(spec.options.gamma_sync));
   cells.push_back(std::to_string(spec.options.sparse_exchange_k));
+  if (include_topology) {
+    cells.push_back(graph::topology_token(spec.options.topology));
+  }
   if (include_codec) {
     cells.push_back(quant::codec_token(spec.options.exchange_codec));
   }
@@ -134,11 +144,12 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
 
 void write_summary_csv(const std::string& path,
                        const std::vector<TrialResult>& rows) {
-  // The codec and scenario columns appear only when some trial actually
-  // exercises them — pure functions of the rows, so the bytes stay
-  // deterministic AND pre-existing grids keep their exact schema.
+  // The codec, scenario, and topology columns appear only when some trial
+  // actually exercises them — pure functions of the rows, so the bytes
+  // stay deterministic AND pre-existing grids keep their exact schema.
   bool include_codec = false;
   bool include_scenario = false;
+  bool include_topology = false;
   for (const TrialResult& row : rows) {
     if (row.spec.options.exchange_codec != quant::Codec::kIdentity) {
       include_codec = true;
@@ -146,11 +157,16 @@ void write_summary_csv(const std::string& path,
     if (scenario::scenario_token(row.spec.options.scenario) != "none") {
       include_scenario = true;
     }
+    if (graph::topology_token(row.spec.options.topology) != "dense") {
+      include_topology = true;
+    }
   }
-  util::CsvWriter csv(path,
-                      ResultSink::csv_header(include_codec, include_scenario));
+  util::CsvWriter csv(path, ResultSink::csv_header(include_codec,
+                                                   include_scenario,
+                                                   include_topology));
   for (const TrialResult& row : rows) {
-    csv.write_row(ResultSink::csv_row(row, include_codec, include_scenario));
+    csv.write_row(ResultSink::csv_row(row, include_codec, include_scenario,
+                                      include_topology));
   }
 }
 

@@ -44,16 +44,19 @@ class ResultSink {
 
   /// Summary-CSV schema shared by the sink and SweepReport. Deliberately
   /// excludes wall-clock so the bytes are reproducible run-to-run. The
-  /// codec and scenario columns exist only when requested:
+  /// codec, scenario, and topology columns exist only when requested:
   /// write_summary_csv includes each iff some row uses a non-identity
-  /// codec / a non-"none" scenario, so grids that never touch those axes
-  /// keep their pre-existing bytes exactly. The scenario flag also adds
-  /// an availability column (fraction of node-rounds the fleet was up).
+  /// codec / a non-"none" scenario / a non-dense topology, so grids that
+  /// never touch those axes keep their pre-existing bytes exactly. The
+  /// scenario flag also adds an availability column (fraction of
+  /// node-rounds the fleet was up).
   static const std::vector<std::string>& csv_header(
-      bool include_codec = false, bool include_scenario = false);
+      bool include_codec = false, bool include_scenario = false,
+      bool include_topology = false);
   static std::vector<std::string> csv_row(const TrialResult& row,
                                           bool include_codec = false,
-                                          bool include_scenario = false);
+                                          bool include_scenario = false,
+                                          bool include_topology = false);
 
  private:
   mutable std::mutex mutex_;

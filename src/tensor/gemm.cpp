@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "tensor/ops.hpp"
+#include "util/arena.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -147,39 +148,12 @@ GemmTuning derive_tuning() {
   return t;
 }
 
-/// 64-byte-aligned grow-only scratch for packed panels (per thread: the
+/// Grow-only scratch for packed panels, backed by util::AlignedArena
+/// (64-byte aligned, huge-page-advised past 2 MiB; per thread — the
 /// engines run GEMMs from pool workers, never nested).
-class AlignedBuffer {
- public:
-  AlignedBuffer() = default;
-  AlignedBuffer(const AlignedBuffer&) = delete;
-  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
-  ~AlignedBuffer() { std::free(ptr_); }
-
-  float* ensure(std::size_t count) {
-    if (count > cap_) {
-      // Drop the old buffer AND its capacity before reallocating: if the
-      // allocation throws, a later smaller request must not think the
-      // freed buffer is still usable.
-      std::free(ptr_);
-      ptr_ = nullptr;
-      cap_ = 0;
-      const std::size_t bytes = ((count * sizeof(float) + 63) / 64) * 64;
-      ptr_ = static_cast<float*>(std::aligned_alloc(64, bytes));
-      if (ptr_ == nullptr) throw std::bad_alloc();
-      cap_ = count;
-    }
-    return ptr_;
-  }
-
- private:
-  float* ptr_ = nullptr;
-  std::size_t cap_ = 0;
-};
-
 struct PackScratch {
-  AlignedBuffer a;                     // packed A slivers
-  AlignedBuffer b;                     // packed B slivers
+  util::AlignedArena a;                // packed A slivers
+  util::AlignedArena b;                // packed B slivers
   std::vector<std::uint8_t> a_zeros;   // per-A-sliver "contains a zero" flag
 };
 
@@ -384,8 +358,8 @@ void gemm_cacc_blocked(std::size_t m, std::size_t k, std::size_t n,
                        std::span<const float> b, std::span<float> c,
                        float beta, PackA&& pack_a) {
   const GemmTuning& tun = gemm_tuning();
-  float* bp = t_scratch.b.ensure(tun.kc * (tun.nc + kNR));
-  float* ap = t_scratch.a.ensure(tun.kc * (tun.mc + kMR));
+  float* bp = t_scratch.b.ensure_floats(tun.kc * (tun.nc + kNR));
+  float* ap = t_scratch.a.ensure_floats(tun.kc * (tun.mc + kMR));
   t_scratch.a_zeros.resize(tun.mc / kMR + 1);
   std::uint8_t* zeros = t_scratch.a_zeros.data();
   for (std::size_t jc = 0; jc < n; jc += tun.nc) {
@@ -436,8 +410,8 @@ void gemm_nt_blocked(std::size_t m, std::size_t k, std::size_t n,
   std::size_t nc_max =
       std::max<std::size_t>(panel_target / std::max<std::size_t>(k, 1), kNR);
   nc_max = std::min<std::size_t>(nc_max & ~(kNR - 1), 256);
-  float* bt = t_scratch.b.ensure(k * (nc_max + kNR));
-  float* ap = t_scratch.a.ensure(k * kMR);
+  float* bt = t_scratch.b.ensure_floats(k * (nc_max + kNR));
+  float* ap = t_scratch.a.ensure_floats(k * kMR);
   for (std::size_t jc = 0; jc < n; jc += nc_max) {
     const std::size_t nc = std::min(nc_max, n - jc);
     // B transpose pack: sliver s row p holds B[jc+s*kNR .. +w][p].

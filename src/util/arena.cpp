@@ -1,0 +1,113 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+#include "util/thread_pool.hpp"
+
+namespace skiptrain::util {
+
+namespace {
+
+std::size_t round_up(std::size_t bytes, std::size_t multiple) {
+  return (bytes + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+AlignedArena::AlignedArena(std::size_t bytes, Touch touch) : touch_(touch) {
+  allocate(bytes, touch);
+}
+
+AlignedArena::~AlignedArena() { release(); }
+
+AlignedArena::AlignedArena(AlignedArena&& other) noexcept
+    : ptr_(std::exchange(other.ptr_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      touch_(other.touch_) {}
+
+AlignedArena& AlignedArena::operator=(AlignedArena&& other) noexcept {
+  if (this != &other) {
+    release();
+    ptr_ = std::exchange(other.ptr_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    touch_ = other.touch_;
+  }
+  return *this;
+}
+
+void AlignedArena::ensure(std::size_t bytes) {
+  if (bytes <= bytes_) return;
+  // Drop before realloc: scratch semantics, and peak RSS stays at one copy.
+  release();
+  allocate(bytes, touch_);
+}
+
+void AlignedArena::allocate(std::size_t bytes, Touch touch) {
+  if (bytes == 0) return;
+  const std::size_t rounded = round_up(bytes, kAlignment);
+#ifdef __linux__
+  if (rounded >= kHugeThreshold) {
+    void* p = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+      // Advisory only: kernels without THP simply ignore it.
+      ::madvise(p, rounded, MADV_HUGEPAGE);
+      ptr_ = p;
+      bytes_ = rounded;
+      mapped_ = true;
+      // Anonymous mappings arrive zeroed; touching just places pages.
+      if (touch == Touch::kSequential) {
+        std::memset(ptr_, 0, rounded);
+      } else if (touch == Touch::kInterleave) {
+        // Chunked parallel first-touch: each worker faults its chunks in,
+        // so on a first-touch NUMA policy the plane's pages spread across
+        // the sockets whose workers will later stream them.
+        const std::size_t chunks =
+            (rounded + kHugeThreshold - 1) / kHugeThreshold;
+        auto* base = static_cast<unsigned char*>(ptr_);
+        parallel_for(0, chunks, [&](std::size_t c) {
+          const std::size_t begin = c * kHugeThreshold;
+          std::memset(base + begin, 0,
+                      std::min(kHugeThreshold, rounded - begin));
+        });
+      }
+      return;
+    }
+    // mmap failure falls through to the aligned_alloc path.
+  }
+#endif
+  void* p = std::aligned_alloc(kAlignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  std::memset(p, 0, rounded);
+  ptr_ = p;
+  bytes_ = rounded;
+  mapped_ = false;
+}
+
+void AlignedArena::release() noexcept {
+  if (ptr_ == nullptr) return;
+#ifdef __linux__
+  if (mapped_) {
+    ::munmap(ptr_, bytes_);
+    ptr_ = nullptr;
+    bytes_ = 0;
+    mapped_ = false;
+    return;
+  }
+#endif
+  std::free(ptr_);
+  ptr_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace skiptrain::util

@@ -23,6 +23,12 @@ Two kinds of checks against the committed baseline
   that got dropped would otherwise make every ratio/absolute check vanish
   while CI stays green.
 
+* "peak_rss_mb" — annotation only. Recorded peak-RSS counters (the
+  BM_GossipSharded rows report getrusage max RSS in MiB); rows whose
+  counter exceeds rss_warn_factor x the recorded value emit a
+  ::warning::. Memory footprint IS roughly machine-independent, but RSS
+  includes allocator/runtime noise, so it annotates rather than fails.
+
 Usage: check_bench_regression.py BENCH_aggregate.json bench_baseline.json
 Exit status: 0 ok, 1 a hard gate (pair or required row) failed,
 2 input malformed.
@@ -36,6 +42,7 @@ def load_rows(bench_json_path):
     with open(bench_json_path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
     rows = {}
+    counters = {}
     for bench in data.get("benchmarks", []):
         # Aggregate reports (mean/median/stddev) carry run_type
         # "aggregate"; plain runs are "iteration". Keep first occurrence.
@@ -44,7 +51,16 @@ def load_rows(bench_json_path):
         name = bench.get("name")
         if name and name not in rows:
             rows[name] = float(bench["real_time"])
-    return rows
+            # User counters land as extra numeric keys on the row object.
+            counters[name] = {
+                key: float(value)
+                for key, value in bench.items()
+                if isinstance(value, (int, float)) and key not in (
+                    "real_time", "cpu_time", "iterations",
+                    "repetition_index", "family_index",
+                    "per_family_instance_index", "threads")
+            }
+    return rows, counters
 
 
 def main(argv):
@@ -52,7 +68,7 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     try:
-        rows = load_rows(argv[1])
+        rows, counters = load_rows(argv[1])
         with open(argv[2], "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
     except (OSError, ValueError, KeyError) as err:
@@ -98,6 +114,22 @@ def main(argv):
             print(f"::warning::{name} is {ratio:.2f}x the recorded baseline "
                   f"time (annotation only — absolute times are "
                   f"machine-dependent)")
+
+    rss_warn_factor = float(baseline.get("rss_warn_factor", 1.5))
+    for name, recorded_mb in baseline.get("peak_rss_mb", {}).items():
+        got = counters.get(name, {}).get("peak_rss_mb")
+        if got is None:
+            print(f"::warning::bench gate: peak_rss_mb counter missing "
+                  f"for {name}")
+            continue
+        ratio = got / float(recorded_mb)
+        note = " (footprint grew)" if ratio > rss_warn_factor else ""
+        print(f"[rss] {name}: {got:.0f} MiB vs recorded "
+              f"{recorded_mb:.0f} MiB ({ratio:.2f}x){note}")
+        if ratio > rss_warn_factor:
+            print(f"::warning::{name} peak RSS is {ratio:.2f}x the recorded "
+                  f"baseline — check for accidental dense/quadratic "
+                  f"allocations on the large-fleet path")
 
     return 1 if failed else 0
 
