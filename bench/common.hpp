@@ -15,6 +15,8 @@
 #include <string>
 
 #include "core/skiptrain.hpp"
+#include "obs/trace.hpp"
+#include "sweep/telemetry.hpp"
 
 namespace skiptrain::bench {
 
@@ -60,6 +62,13 @@ inline void add_sweep_flags(util::ArgParser& args) {
   args.add_flag("resume",
                 "skip completed trials and re-enter in-flight ones from "
                 "their last fleet image");
+  args.add_string("trace-out", "",
+                  "stream phase spans to this Chrome trace-event JSON "
+                  "(load in Perfetto); observational only — result bytes "
+                  "are identical with tracing on or off");
+  args.add_string("telemetry-out", "",
+                  "write runtime telemetry JSON here (harnesses with a "
+                  "summary CSV default to <csv>.telemetry.json)");
 }
 
 /// Reads a count-valued flag, rejecting negatives with a clean exit —
@@ -146,7 +155,33 @@ inline sweep::SweepReport run_sweep(const sweep::SweepGrid& grid,
     options.checkpoint_every = grid.checkpoint_every;
   }
   options.resume = args.get_flag("resume") || grid.resume;
-  return sweep::SweepRunner(options).run(grid);
+  // Tracing wraps the whole sweep so the file closes complete even when
+  // the harness keeps running afterwards; SKIPTRAIN_TRACE-initiated traces
+  // stay process-lifetime and are finalized at exit instead.
+  const std::string trace_path = args.get_string("trace-out");
+  const bool own_trace = !trace_path.empty() && obs::start_tracing(trace_path);
+  sweep::SweepReport report = sweep::SweepRunner(options).run(grid);
+  if (own_trace) obs::stop_tracing();
+  return report;
+}
+
+/// Writes the report's telemetry JSON to --telemetry-out, or next to the
+/// summary CSV when the flag is unset and a CSV path is known. Export
+/// failures warn and continue — telemetry must never fail a bench run.
+inline void export_telemetry(const sweep::SweepReport& report,
+                             const util::ArgParser& args,
+                             const std::string& csv_path = "") {
+  std::string path = args.get_string("telemetry-out");
+  if (path.empty() && !csv_path.empty()) {
+    path = sweep::default_telemetry_path(csv_path);
+  }
+  if (path.empty()) return;
+  try {
+    sweep::write_telemetry_json(path, report);
+    std::printf("Telemetry written to %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "telemetry export failed: %s\n", e.what());
+  }
 }
 
 inline std::size_t flag_nodes(const util::ArgParser& args) {

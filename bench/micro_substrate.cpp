@@ -23,6 +23,8 @@
 
 #include "core/skiptrain.hpp"
 #include "graph/sparse.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "plane/plane.hpp"
 #include "plane/sharded.hpp"
 
@@ -624,6 +626,34 @@ void BM_ShardPartition(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardPartition)->Arg(64)->Arg(256);
 
+// --- telemetry overhead ----------------------------------------------------
+// Cost of one Counter::add (Arg(1) = enabled, Arg(0) = disabled) and one
+// OBS_SPAN with tracing inactive. These pin the "near-zero cost" claim:
+// disabled is a relaxed flag load + branch, enabled adds one relaxed
+// fetch_add on a thread-local shard. Run under --quick; the CI gate
+// requires the rows so a hot-path regression cannot hide by vanishing.
+void BM_ObsCounterOverhead(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(state.range(0) != 0);
+  static const obs::Counter counter = obs::counter("bench.obs.counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ObsCounterOverhead)->Arg(0)->Arg(1);
+
+void BM_ObsSpanOverhead(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    OBS_SPAN("bench.obs.span");
+    benchmark::ClobberMemory();
+  }
+  obs::set_enabled(was_enabled);
+}
+BENCHMARK(BM_ObsSpanOverhead)->Arg(0)->Arg(1);
+
 }  // namespace
 
 // Custom main: `--quick` restricts the run to the aggregate-phase and
@@ -643,7 +673,7 @@ int main(int argc, char** argv) {
   }
   if (quick) {
     args.insert(args.begin() + 1,
-                "--benchmark_filter=BM_Aggregate|BM_Gossip|BM_Codec|BM_Checkpoint|BM_Harvest|BM_Scenario|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d");
+                "--benchmark_filter=BM_Aggregate|BM_Gossip|BM_Codec|BM_Checkpoint|BM_Harvest|BM_Scenario|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d|BM_Obs");
     args.insert(args.begin() + 1, "--benchmark_min_time=0.05");
   }
   const bool has_out =

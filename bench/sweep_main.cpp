@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
                                    ? grid.name + "_sweep.csv"
                                    : args.get_string("csv");
   report.write_csv(csv_path);
+  bench::export_telemetry(report, args, csv_path);
   if (report.resumed_trials != 0) {
     std::printf("%zu completed trials loaded from checkpoint (not re-run)\n",
                 report.resumed_trials);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "ckpt/io.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/async_engine.hpp"
 #include "sim/engine.hpp"
 
@@ -60,6 +62,9 @@ void save_image(const Engine& engine, EngineKind kind,
 template <typename Body>
 bool load_image(const std::string& path, EngineKind expected_kind,
                 bool want_experiment, Body&& body) {
+  OBS_SPAN("ckpt.load");
+  static const obs::Counter files = obs::counter("ckpt.files_read");
+  static const obs::Counter bytes = obs::counter("ckpt.bytes_read");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("fleet image: cannot open " + path);
   const std::uint64_t payload_bytes = read_header(
@@ -78,6 +83,8 @@ bool load_image(const std::string& path, EngineKind expected_kind,
   const std::string fingerprint = has_experiment ? reader.str() : "";
   if (!body(reader, has_experiment, fingerprint)) return false;
   reader.require_exhausted(path);
+  files.add(1);
+  bytes.add(payload_bytes + kHeaderBytes);
   return true;
 }
 

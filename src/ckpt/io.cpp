@@ -6,6 +6,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace skiptrain::ckpt {
 
 void ImageWriter::bytes(const void* data, std::size_t size) {
@@ -181,6 +184,11 @@ std::uint64_t file_size_bytes(const std::string& path) {
 
 void atomic_write(const std::string& path,
                   const std::function<void(std::ostream&)>& payload) {
+  OBS_SPAN("ckpt.write");
+  static const obs::Counter files = obs::counter("ckpt.files_written");
+  static const obs::Counter bytes = obs::counter("ckpt.bytes_written");
+  static const obs::Histogram latency = obs::hist_ns("ckpt.write.ns");
+  const obs::StopWatch watch;
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -188,6 +196,9 @@ void atomic_write(const std::string& path,
     payload(out);
     out.flush();
     if (!out) throw std::runtime_error("ckpt: write failed for " + tmp);
+    files.add(1);
+    const auto written = out.tellp();
+    if (written > 0) bytes.add(static_cast<std::uint64_t>(written));
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -195,6 +206,7 @@ void atomic_write(const std::string& path,
     throw std::runtime_error("ckpt: cannot rename " + tmp + " -> " + path +
                              ": " + ec.message());
   }
+  latency.record(watch.ns());
 }
 
 }  // namespace skiptrain::ckpt

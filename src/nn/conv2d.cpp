@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "tensor/ops.hpp"
 
 namespace skiptrain::nn {
@@ -59,6 +60,8 @@ Shape Conv2d::output_shape(const Shape& input_shape) const {
 }
 
 void Conv2d::forward(const Tensor& input, Tensor& output) {
+  static const obs::Counter calls = obs::counter("conv.fwd_calls");
+  calls.add(1);
   if (algo_ == Conv2dAlgo::kDirect) {
     forward_direct(input, output);
   } else {
@@ -68,6 +71,8 @@ void Conv2d::forward(const Tensor& input, Tensor& output) {
 
 void Conv2d::backward(const Tensor& input, const Tensor& grad_output,
                       Tensor& grad_input) {
+  static const obs::Counter calls = obs::counter("conv.bwd_calls");
+  calls.add(1);
   if (algo_ == Conv2dAlgo::kDirect) {
     backward_direct(input, grad_output, grad_input);
   } else {

@@ -1,0 +1,52 @@
+#include "obs/phase.hpp"
+
+#include "obs/registry.hpp"
+
+namespace skiptrain::obs {
+
+namespace {
+
+constexpr const char* kPhaseNames[kPhaseCount] = {
+    "setup", "liveness", "train", "encode", "gossip", "eval", "checkpoint",
+};
+
+constexpr const char* kPhaseSpanNames[kPhaseCount] = {
+    "round.setup",  "round.liveness", "round.train",      "round.encode",
+    "round.gossip", "round.eval",     "round.checkpoint",
+};
+
+/// Registry handles for the per-phase latency histograms, registered
+/// once on first use so PhaseScope's destructor never takes the
+/// registration lock.
+const Histogram& phase_histogram(std::size_t p) {
+  static const Histogram hists[kPhaseCount] = {
+      hist_ns("phase.setup.ns"),  hist_ns("phase.liveness.ns"),
+      hist_ns("phase.train.ns"),  hist_ns("phase.encode.ns"),
+      hist_ns("phase.gossip.ns"), hist_ns("phase.eval.ns"),
+      hist_ns("phase.checkpoint.ns"),
+  };
+  return hists[p];
+}
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  return kPhaseNames[static_cast<std::size_t>(phase)];
+}
+
+const char* phase_span_name(Phase phase) {
+  return kPhaseSpanNames[static_cast<std::size_t>(phase)];
+}
+
+void note_phase(PhaseStats& stats, Phase phase, std::uint64_t start_ns) {
+  const std::uint64_t end_ns = now_ns();
+  const std::uint64_t elapsed = end_ns - start_ns;
+  stats.add(phase, elapsed);
+  const auto p = static_cast<std::size_t>(phase);
+  if (tracing_active()) {
+    detail::emit_span(kPhaseSpanNames[p], start_ns, end_ns);
+  }
+  if (enabled()) phase_histogram(p).record(elapsed);
+}
+
+}  // namespace skiptrain::obs

@@ -1,0 +1,52 @@
+// Shared wall-clock timing primitives for the telemetry layer.
+//
+// StopWatch replaces the ad-hoc `steady_clock::now()` + duration<double>
+// boilerplate that used to be copied wherever something was timed (the
+// sweep runner carried two copies). now_ns() is the single monotonic
+// clock the span tracer and the histograms are denominated in.
+//
+// Everything here is observational: no caller may feed a measured time
+// back into simulation state — sweep CSVs and checkpoint images must stay
+// byte-identical with telemetry on or off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace skiptrain::obs {
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch.
+[[nodiscard]] inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic elapsed-time meter. Starts at construction; `seconds()` may
+/// be read any number of times; `restart()` returns the lap and rezeroes.
+class StopWatch {
+ public:
+  StopWatch() : start_(now_ns()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(now_ns() - start_) * 1e-9;
+  }
+
+  /// Nanoseconds elapsed since construction or the last restart().
+  [[nodiscard]] std::uint64_t ns() const { return now_ns() - start_; }
+
+  /// Returns the elapsed seconds and starts a fresh lap.
+  double restart() {
+    const std::uint64_t now = now_ns();
+    const double lap = static_cast<double>(now - start_) * 1e-9;
+    start_ = now;
+    return lap;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace skiptrain::obs

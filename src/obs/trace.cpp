@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+namespace skiptrain::obs {
+
+namespace detail {
+
+std::atomic<bool> g_tracing{false};
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  std::uint32_t tid;
+};
+
+constexpr std::size_t kFlushThreshold = 8192;
+
+/// One recording thread's event buffer. Leaked (never freed) so
+/// stop_tracing() can flush buffers of threads that have already exited;
+/// each holds its own mutex so appends only contend with flushes.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+};
+
+/// Trace-wide state behind one mutex: the output file and the list of
+/// every thread buffer ever created.
+struct TraceFile {
+  std::mutex mutex;
+  std::ofstream out;
+  std::uint64_t start_ns = 0;
+  bool first_event = true;
+  std::vector<ThreadBuffer*> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+TraceFile& trace_file() {
+  static TraceFile* instance = new TraceFile();  // leaked, like the registry
+  return *instance;
+}
+
+/// Writes `events` to the open file. Caller holds tf.mutex.
+void write_events_locked(TraceFile& tf, const std::vector<Event>& events) {
+  if (!tf.out.is_open()) return;
+  char line[256];
+  for (const Event& e : events) {
+    const double ts_us =
+        static_cast<double>(e.start_ns - tf.start_ns) * 1e-3;
+    const double dur_us = static_cast<double>(e.end_ns - e.start_ns) * 1e-3;
+    const int n = std::snprintf(
+        line, sizeof(line),
+        "%s{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":0,\"tid\":%u}",
+        tf.first_event ? "\n" : ",\n", e.name, ts_us, dur_us, e.tid);
+    tf.out.write(line, n);
+    tf.first_event = false;
+  }
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto* b = new ThreadBuffer();  // leaked: see struct comment
+    TraceFile& tf = trace_file();
+    std::lock_guard lock(tf.mutex);
+    b->tid = tf.next_tid++;
+    tf.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void emit_span(const char* name, std::uint64_t start_ns,
+               std::uint64_t end_ns) {
+  // The span may have outlived the trace (scope opened before
+  // stop_tracing); drop it rather than write past the footer.
+  if (!g_tracing.load(std::memory_order_relaxed)) return;
+  ThreadBuffer& buf = local_buffer();
+  std::vector<Event> spill;
+  {
+    std::lock_guard lock(buf.mutex);
+    buf.events.push_back(Event{name, start_ns, end_ns, buf.tid});
+    if (buf.events.size() >= kFlushThreshold) buf.events.swap(spill);
+  }
+  if (!spill.empty()) {
+    TraceFile& tf = trace_file();
+    std::lock_guard lock(tf.mutex);
+    write_events_locked(tf, spill);
+  }
+}
+
+}  // namespace detail
+
+bool start_tracing(const std::string& path) {
+  detail::TraceFile& tf = detail::trace_file();
+  std::lock_guard lock(tf.mutex);
+  if (detail::g_tracing.load(std::memory_order_relaxed)) return false;
+  tf.out.open(path, std::ios::binary | std::ios::trunc);
+  if (!tf.out.is_open()) return false;
+  tf.out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  tf.start_ns = now_ns();
+  tf.first_event = true;
+  static const bool atexit_registered = [] {
+    std::atexit([] { stop_tracing(); });
+    return true;
+  }();
+  (void)atexit_registered;
+  detail::g_tracing.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void stop_tracing() {
+  detail::TraceFile& tf = detail::trace_file();
+  std::lock_guard lock(tf.mutex);
+  if (!detail::g_tracing.load(std::memory_order_relaxed)) return;
+  // Stop accepting spans first, then drain what every thread buffered.
+  // Spans still open on other threads observe the cleared flag in their
+  // destructor and drop themselves.
+  detail::g_tracing.store(false, std::memory_order_relaxed);
+  for (detail::ThreadBuffer* buf : tf.buffers) {
+    std::vector<detail::Event> drained;
+    {
+      std::lock_guard buf_lock(buf->mutex);
+      buf->events.swap(drained);
+    }
+    write_events_locked(tf, drained);
+  }
+  tf.out << "\n]}\n";
+  tf.out.close();
+}
+
+namespace detail {
+namespace {
+
+/// SKIPTRAIN_TRACE=<path> starts a process-lifetime trace before main();
+/// the atexit hook registered by start_tracing finalizes it.
+const bool g_env_autostart = [] {
+  const char* path = std::getenv("SKIPTRAIN_TRACE");
+  if (path != nullptr && path[0] != '\0') start_tracing(path);
+  return true;
+}();
+
+}  // namespace
+}  // namespace detail
+
+}  // namespace skiptrain::obs

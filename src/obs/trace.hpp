@@ -1,0 +1,87 @@
+// Phase-span tracer: RAII scopes that stream Chrome trace-event JSON.
+//
+//   {
+//     OBS_SPAN("round.gossip");
+//     ... the gossip phase ...
+//   }   // emits {"name":"round.gossip","ph":"X","ts":...,"dur":...,"tid":N}
+//
+// The output is the Trace Event Format's "complete event" array, loadable
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing, and parsed
+// by tools/trace_summary.py. Spans carry a stable per-thread tid and nest
+// naturally: a child span's [ts, ts+dur] interval is contained in its
+// parent's, because destructors close inner scopes first.
+//
+// Cost model: tracing disabled (the default), OBS_SPAN is one relaxed
+// atomic load and zero allocations. Enabled, each span costs two clock
+// reads plus an append into a per-thread buffer (flushed to the file in
+// batches under a mutex). Span names must be string literals or otherwise
+// outlive the trace — the buffer stores the pointer.
+//
+// Activation: obs::start_tracing(path) / stop_tracing(), the sweep
+// harnesses' --trace-out flag, or the SKIPTRAIN_TRACE environment
+// variable (its value is the output path; the trace is finalized via
+// atexit). Tracing is process-wide and observational only — simulation
+// outputs stay byte-identical with it on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/stopwatch.hpp"
+
+namespace skiptrain::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+void emit_span(const char* name, std::uint64_t start_ns,
+               std::uint64_t end_ns);
+}  // namespace detail
+
+/// True while a trace file is open and accepting spans.
+[[nodiscard]] inline bool tracing_active() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// Opens `path` and starts recording spans. Returns false (and changes
+/// nothing) when tracing is already active or the file cannot be opened.
+bool start_tracing(const std::string& path);
+
+/// Flushes every thread's buffered spans, writes the JSON footer, and
+/// closes the file. No-op when tracing is not active.
+void stop_tracing();
+
+/// RAII span. Captures the start time at construction when tracing is
+/// active; emits one complete event at destruction. `name` must outlive
+/// the trace (pass a string literal).
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) {
+    if (tracing_active()) {
+      name_ = name;
+      start_ns_ = now_ns();
+    }
+  }
+  ~SpanScope() {
+    if (name_ != nullptr) detail::emit_span(name_, start_ns_, now_ns());
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace skiptrain::obs
+
+#define SKIPTRAIN_OBS_CONCAT_INNER(a, b) a##b
+#define SKIPTRAIN_OBS_CONCAT(a, b) SKIPTRAIN_OBS_CONCAT_INNER(a, b)
+
+/// Traces the enclosing scope as one span named `name` (a string literal).
+#define OBS_SPAN(name)                                       \
+  ::skiptrain::obs::SpanScope SKIPTRAIN_OBS_CONCAT(          \
+      obs_span_scope_, __LINE__) {                           \
+    name                                                     \
+  }

@@ -5,8 +5,21 @@
 #include "core/compression.hpp"
 #include "graph/mixing.hpp"
 #include "graph/sparse.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace skiptrain::plane {
+
+namespace {
+
+/// Telemetry tap for every mixing kernel below: rows pushed through the
+/// gossip aggregation. Observational only.
+void note_rows_mixed(std::size_t rows) {
+  static const obs::Counter mixed = obs::counter("gossip.rows_mixed");
+  mixed.add(rows);
+}
+
+}  // namespace
 
 void gather_masked_rows(ConstMatrixView source,
                         std::span<const std::uint32_t> mask,
@@ -33,6 +46,8 @@ void apply_mixing_from(const graph::MixingMatrix& mixing,
   if (source.rows != plane.nodes() || source.dim != plane.dim()) {
     throw std::invalid_argument("plane::apply_mixing_from: source shape");
   }
+  OBS_SPAN("gossip.apply_mixing");
+  note_rows_mixed(source.rows);
   graph::apply_mixing_blocked(mixing, source.flat(),
                               plane.back().view().flat(), plane.dim(),
                               block_floats);
@@ -56,6 +71,8 @@ void apply_mixing_from(const graph::MixingRef& mixing, ConstMatrixView source,
   if (source.rows != plane.nodes() || source.dim != plane.dim()) {
     throw std::invalid_argument("plane::apply_mixing_from: source shape");
   }
+  OBS_SPAN("gossip.apply_mixing");
+  note_rows_mixed(source.rows);
   graph::apply_mixing_sharded(mixing, source.flat(),
                               plane.back().view().flat(), plane.dim(),
                               block_floats);

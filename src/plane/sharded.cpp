@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace skiptrain::plane {
@@ -54,6 +56,9 @@ void apply_mixing_sharded(const graph::MixingRef& mixing,
     throw std::invalid_argument(
         "plane::apply_mixing_sharded: node count mismatch");
   }
+  OBS_SPAN("gossip.sharded");
+  static const obs::Counter mixed = obs::counter("gossip.rows_mixed");
+  mixed.add(plane.nodes());
   const ShardedPlane& source = plane;
   const auto half_row = [&source](std::size_t node) {
     return source.current_row(node);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "quant/kernels.hpp"
 
 namespace skiptrain::quant {
@@ -70,6 +71,13 @@ double wire_bytes_per_param(Codec codec) {
 energy::CommModel comm_model_for(Codec codec, energy::CommModel base) {
   base.bytes_per_param = wire_bytes_per_param(codec);
   return base;
+}
+
+std::size_t exact_row_wire_bytes(Codec codec, std::size_t dim) {
+  QuantizedRow row;
+  row.codec = codec;
+  row.dim = dim;
+  return row.wire_bytes();
 }
 
 // --- fp16 ------------------------------------------------------------------
@@ -148,6 +156,16 @@ namespace {
 // The dither stream helpers (dither_stream / dither_uniform) live in
 // quant/kernels.hpp now, shared with the vectorized batch kernels.
 
+/// Telemetry tap shared by every concrete encode: rows and exact wire
+/// bytes produced. Handles are registered once; the per-encode cost is
+/// two relaxed thread-local adds (observational only).
+void note_encode(const QuantizedRow& out) {
+  static const obs::Counter rows = obs::counter("codec.rows_encoded");
+  static const obs::Counter bytes = obs::counter("codec.wire_bytes");
+  rows.add(1);
+  bytes.add(out.wire_bytes());
+}
+
 void check_decode_shapes(const QuantizedRow& in, std::span<float> out,
                          Codec expected) {
   if (in.codec != expected) {
@@ -166,6 +184,7 @@ class IdentityCodec final : public RowCodec {
     out.codec = Codec::kIdentity;
     out.dim = row.size();
     out.fp32.assign(row.begin(), row.end());
+    note_encode(out);
   }
 
   void decode(const QuantizedRow& in, std::span<float> out) const override {
@@ -185,6 +204,7 @@ class Fp16Codec final : public RowCodec {
     // Vectorized wire conversion (±Inf saturates to the largest finite
     // half — see fp16_wire_from_float), bit-identical to the scalar path.
     fp16_encode_wire(row, out.half.data());
+    note_encode(out);
   }
 
   void decode(const QuantizedRow& in, std::span<float> out) const override {
@@ -210,15 +230,17 @@ class Int8CodecBase : public RowCodec {
     out.codes.resize(row.size());
     out.block_lo.resize(blocks);
     out.block_scale.resize(blocks);
-    if (row.empty()) return;
-    if (kind() == Codec::kInt8Dithered) {
-      int8_encode_dithered(row, dither_stream(seed_, round_),
-                           out.codes.data(), out.block_lo.data(),
-                           out.block_scale.data());
-    } else {
-      int8_encode(row, out.codes.data(), out.block_lo.data(),
-                  out.block_scale.data());
+    if (!row.empty()) {
+      if (kind() == Codec::kInt8Dithered) {
+        int8_encode_dithered(row, dither_stream(seed_, round_),
+                             out.codes.data(), out.block_lo.data(),
+                             out.block_scale.data());
+      } else {
+        int8_encode(row, out.codes.data(), out.block_lo.data(),
+                    out.block_scale.data());
+      }
     }
+    note_encode(out);
   }
 
   void decode(const QuantizedRow& in, std::span<float> out) const override {

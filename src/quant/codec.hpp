@@ -82,6 +82,13 @@ inline constexpr std::size_t kInt8BlockHeaderBytes = 2 * sizeof(float);
 [[nodiscard]] energy::CommModel comm_model_for(Codec codec,
                                                energy::CommModel base = {});
 
+/// Exact bytes one encoded `dim`-value row occupies on the wire, including
+/// partial-block int8 headers — what QuantizedRow::wire_bytes() reports
+/// after an encode, computable without encoding. The engines' telemetry
+/// wire-byte tallies use this (the analytic per-param figure above
+/// amortizes away partial trailing blocks).
+[[nodiscard]] std::size_t exact_row_wire_bytes(Codec codec, std::size_t dim);
+
 // --- fp16 scalar conversions (exposed for tests/benches) -------------------
 
 /// float32 -> binary16 with round-to-nearest-even (overflow -> ±Inf,

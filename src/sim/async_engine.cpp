@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "sim/state_io.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
@@ -42,6 +43,7 @@ AsyncGossipEngine::AsyncGossipEngine(const nn::Sequential& prototype,
   if (config_.exchange_codec != quant::Codec::kIdentity) {
     codec_ = quant::make_codec(config_.exchange_codec, config_.seed);
   }
+  row_wire_bytes_ = quant::exact_row_wire_bytes(config_.exchange_codec, dim);
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, prototype, data.node_view(i),
@@ -80,11 +82,23 @@ std::size_t AsyncGossipEngine::local_rounds(std::size_t node) const {
 }
 
 void AsyncGossipEngine::run_until(double horizon_seconds) {
+  // Event-loop health: pending-event depth after each pop, and host wall
+  // time per activation (simulated durations never enter either).
+  static const obs::Gauge queue_depth = obs::gauge("async.queue_depth");
+  static const obs::Histogram latency = obs::hist_ns("async.activate.ns");
+  const bool record = obs::enabled();
   while (!queue_.empty() && queue_.top().time <= horizon_seconds) {
     const Event event = queue_.top();
     queue_.pop();
     now_ = event.time;
+    if (!record) {
+      activate(event.node);
+      continue;
+    }
+    queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    const std::uint64_t start_ns = obs::now_ns();
     activate(event.node);
+    latency.record(obs::now_ns() - start_ns);
   }
   now_ = std::max(now_, horizon_seconds);
 }
@@ -209,8 +223,11 @@ void AsyncGossipEngine::activate(std::size_t node) {
   // thresholds apply. A down node burns a dormant activation — no work,
   // no billing, model frozen in its row — and polls again later.
   if (scenario_ != nullptr) {
+    const std::uint64_t phase_start = obs::now_ns();
     scenario_->step_node(node, t);
-    if (!scenario_->alive(node)) {
+    const bool alive = scenario_->alive(node);
+    obs::note_phase(phase_stats_, obs::Phase::kLiveness, phase_start);
+    if (!alive) {
       queue_.push(Event{now_ + train_seconds_[node] *
                                    config_.scenario.dormant_wait_factor,
                         node});
@@ -232,7 +249,9 @@ void AsyncGossipEngine::activate(std::size_t node) {
   }
   if (trains) {
     accountant_.record_training(node);
+    const std::uint64_t phase_start = obs::now_ns();
     nodes_[node]->train_local(config_.local_steps, config_.batch_size);
+    obs::note_phase(phase_stats_, obs::Phase::kTrain, phase_start);
     ++trainings_;
   }
 
@@ -249,6 +268,7 @@ void AsyncGossipEngine::activate(std::size_t node) {
   // 3. Merge fresh neighbor models: uniform average over self + fresh,
   // computed in place on this node's plane row. A fresh delivery is read
   // straight from the sender's outbox row — no per-edge copies exist.
+  std::uint64_t phase_start = obs::now_ns();
   const auto mine = models_.row(node);
   std::size_t contributors = 1;
   const auto& neighbors = topology_.neighbors(node);
@@ -272,12 +292,21 @@ void AsyncGossipEngine::activate(std::size_t node) {
   // With a codec, the outbox carries the encoded payload and the row
   // holds its decode — the staging-boundary image all receivers merge.
   accountant_.record_exchange(node);
+  wire_bytes_ += row_wire_bytes_;
+  {
+    static const obs::Counter wire = obs::counter("wire.bytes");
+    wire.add(row_wire_bytes_);
+  }
   if (codec_ != nullptr) {
     // The event loop is serial, so the per-sender round id is stable: use
     // the node's local round as the dither stream.
+    obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
+    phase_start = obs::now_ns();
     codec_->begin_round(t);
     codec_->encode(mine, wire_scratch_);
     codec_->decode(wire_scratch_, outbox_.row(node));
+    obs::note_phase(phase_stats_, obs::Phase::kEncode, phase_start);
+    phase_start = obs::now_ns();
   } else {
     tensor::copy(mine, outbox_.row(node));
   }
@@ -290,6 +319,7 @@ void AsyncGossipEngine::activate(std::size_t node) {
         static_cast<std::size_t>(it - peer_neighbors.begin());
     fresh_[peer][slot] = 1;
   }
+  obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
 
   // 5. Schedule the next activation.
   const double duration =

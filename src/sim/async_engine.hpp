@@ -29,6 +29,7 @@
 #include "energy/accountant.hpp"
 #include "graph/topology.hpp"
 #include "nn/sequential.hpp"
+#include "obs/phase.hpp"
 #include "plane/plane.hpp"
 #include "quant/codec.hpp"
 #include "scenario/scenario.hpp"
@@ -105,6 +106,15 @@ class AsyncGossipEngine {
   /// Battery/churn state when a scenario is enabled; nullptr otherwise.
   const scenario::FleetScenario* scenario() const { return scenario_.get(); }
 
+  /// Per-phase wall time accumulated by activate() (observational only —
+  /// never serialized, never fed back into scheduling). The event loop is
+  /// serial, so accumulation is single-writer.
+  const obs::PhaseStats& phase_stats() const { return phase_stats_; }
+
+  /// Exact codec wire bytes pushed to outboxes so far (one encoded model
+  /// per non-dormant activation).
+  std::uint64_t wire_bytes_sent() const { return wire_bytes_; }
+
   /// Zero-copy view of every node's current model (row i = node i).
   plane::ConstMatrixView node_parameters() const { return models_.view(); }
 
@@ -178,6 +188,12 @@ class AsyncGossipEngine {
   double now_ = 0.0;
   std::size_t activations_ = 0;
   std::size_t trainings_ = 0;
+
+  // Telemetry (observational only; excluded from save_state/restore_state
+  // so checkpoint images stay byte-identical with telemetry on or off).
+  obs::PhaseStats phase_stats_;
+  std::uint64_t wire_bytes_ = 0;
+  std::size_t row_wire_bytes_ = 0;  // precomputed exact bytes per push
 };
 
 }  // namespace skiptrain::sim

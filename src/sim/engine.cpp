@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "sim/state_io.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
@@ -55,6 +56,13 @@ RoundEngine::RoundEngine(const nn::Sequential& prototype,
   train_flags_.assign(n, 0);
   local_losses_.assign(n, 0.0);
 
+  // Exact per-exchange wire footprint of one row at the SIMULATED dim
+  // (the energy bill stays on the paper's model size; this tally is what
+  // the codec actually ships). Masked exchanges ship the k staged values.
+  row_wire_bytes_ = quant::exact_row_wire_bytes(
+      config_.exchange_codec,
+      config_.sparse_exchange_k == 0 ? plane_.dim() : staged_.dim());
+
   if (config_.scenario.enabled) {
     // Battery/harvest magnitudes scale from each node's own per-round
     // training energy, so one scenario config fits any workload.
@@ -92,6 +100,8 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
   // fix this round's liveness mask — serially, so the parallel phases read
   // an immutable snapshot and battery evolution is thread-count-free.
   bool any_down = false;
+  const std::uint64_t wire_bytes_before = wire_bytes_;
+  std::uint64_t phase_start = obs::now_ns();
   if (scenario_ != nullptr) scenario_->begin_round(t);
   for (std::size_t i = 0; i < n; ++i) {
     bool alive = scenario_ == nullptr || scenario_->alive(i);
@@ -130,18 +140,27 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
       } else {
         accountant_.record_exchange(i, wire_params);
       }
+      wire_bytes_ += row_wire_bytes_;
     }
   }
+  {
+    // Serial tally of the round's exact wire footprint (observational).
+    static const obs::Counter wire = obs::counter("wire.bytes");
+    wire.add(wire_bytes_ - wire_bytes_before);
+  }
+  obs::note_phase(phase_stats_, obs::Phase::kLiveness, phase_start);
 
   // Phase 2 — local training, parallel over nodes. Models view their
   // plane rows, so this writes x^{t-1/2} into current() in place;
   // non-training rows already hold x^{t-1}.
+  phase_start = obs::now_ns();
   util::parallel_for(0, n, [&](std::size_t i) {
     if (train_flags_[i]) {
       local_losses_[i] =
           nodes_[i]->train_local(config_.local_steps, config_.batch_size);
     }
   });
+  obs::note_phase(phase_stats_, obs::Phase::kTrain, phase_start);
 
   // Phase 3+4 — exchange & aggregate.
   if (config_.sparse_exchange_k == 0) {
@@ -154,13 +173,16 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
       // codecs only ever supply NEIGHBOR images, so no post-hoc self
       // correction is needed. Writes go to back(), then one flip.
       if (codec_ != nullptr) {
+        phase_start = obs::now_ns();
         codec_->begin_round(t);
         util::parallel_for(0, n, [&](std::size_t i) {
           if (!alive_flags_[i]) return;
           codec_->encode(plane_.current().row(i), wire_rows_[i]);
           codec_->decode(wire_rows_[i], decoded_.row(i));
         });
+        obs::note_phase(phase_stats_, obs::Phase::kEncode, phase_start);
       }
+      phase_start = obs::now_ns();
       const plane::ConstMatrixView current = plane_.current().view();
       util::parallel_for(0, n, [&](std::size_t i) {
         const auto mine = current.row(i);
@@ -182,6 +204,7 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
     } else if (codec_ == nullptr) {
       // Dense: one blocked kernel current() → back(), then flip; reads
       // touch only x^{t-1/2}, writes only x^t.
+      phase_start = obs::now_ns();
       plane::apply_mixing(mixing_, plane_);
     } else {
       // Dense quantized: every row crosses the wire encoded, so receivers
@@ -189,11 +212,14 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
       // (parallel; codecs are stateless per row), then run the blocked
       // kernel over the decoded staging plane:
       //   x_i^t = W_ii x_i^{t-1/2} + Σ_{j≠i} W_ij x̂_j^{t-1/2}.
+      phase_start = obs::now_ns();
       codec_->begin_round(t);
       util::parallel_for(0, n, [&](std::size_t i) {
         codec_->encode(plane_.current().row(i), wire_rows_[i]);
         codec_->decode(wire_rows_[i], decoded_.row(i));
       });
+      obs::note_phase(phase_stats_, obs::Phase::kEncode, phase_start);
+      phase_start = obs::now_ns();
       plane::apply_mixing_from(mixing_, decoded_.view(), plane_);
       // The kernel billed the self contribution at x̂_i, but a node's own
       // model never crosses the wire — restore the exact self term. After
@@ -214,28 +240,34 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
     for (std::size_t i = 0; i < n; ++i) {
       nodes_[i]->model().attach_parameter_arena(plane_.current().row(i));
     }
+    obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
   } else {
     // Sparse: all nodes exchange the same k random coordinates this round
     // (mask derived from the shared seed). Since W rows sum to 1:
     //   x_i^t = x_i^{t-1/2} + Σ_j W_ij Σ_{c ∈ mask_t} (x_j[c] - x_i[c]) e_c.
     // Stage the masked coordinates of every row, then update rows in place
     // — only k coordinates per node change, so no dense copy is needed.
+    phase_start = obs::now_ns();
     round_mask_ = core::shared_round_mask(config_.seed, t, dim,
                                           config_.sparse_exchange_k);
     plane::gather_masked_rows(plane_.current().view(), round_mask_,
                               staged_.view());
+    obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
     if (codec_ != nullptr) {
       // Sparse+quant composition: the k masked values are what crosses
       // the wire, so they are what gets encoded. Receivers read the
       // decoded image of a neighbor's staged values but keep their OWN
       // values exact (a node never quantizes against itself).
+      phase_start = obs::now_ns();
       codec_->begin_round(t);
       util::parallel_for(0, n, [&](std::size_t i) {
         if (any_down && !alive_flags_[i]) return;
         codec_->encode(staged_.row(i), wire_rows_[i]);
         codec_->decode(wire_rows_[i], staged_decoded_.row(i));
       });
+      obs::note_phase(phase_stats_, obs::Phase::kEncode, phase_start);
     }
+    phase_start = obs::now_ns();
     const plane::RowArena& theirs_pool =
         codec_ != nullptr ? staged_decoded_ : staged_;
     util::parallel_for(0, n, [&](std::size_t i) {
@@ -252,6 +284,7 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
                                            mine_staged, row, entry.weight);
       }
     });
+    obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
   }
 
   double loss_sum = 0.0;

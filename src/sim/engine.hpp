@@ -37,6 +37,7 @@
 #include "graph/mixing.hpp"
 #include "graph/sparse.hpp"
 #include "nn/sequential.hpp"
+#include "obs/phase.hpp"
 #include "plane/plane.hpp"
 #include "quant/codec.hpp"
 #include "scenario/scenario.hpp"
@@ -136,6 +137,16 @@ class RoundEngine {
   /// Battery/churn state when a scenario is enabled; nullptr otherwise.
   const scenario::FleetScenario* scenario() const { return scenario_.get(); }
 
+  /// Per-phase wall time accumulated by run_round (observational only —
+  /// never serialized, never fed back into simulation decisions). Phases
+  /// run on the trial's driving thread, so accumulation is single-writer.
+  const obs::PhaseStats& phase_stats() const { return phase_stats_; }
+
+  /// Exact codec wire bytes every up node shipped so far (dim- and
+  /// k-aware, partial int8 blocks included). Deterministic: tallied in
+  /// the serial phase-1 loop alongside the energy accounting.
+  std::uint64_t wire_bytes_sent() const { return wire_bytes_; }
+
   /// Serializes the engine's complete mutable simulation state — round
   /// counter, the [n × dim] plane blob (row-arena-contiguous, one write),
   /// accountant tallies/budgets, and per-node RNG/optimizer state — plus
@@ -191,6 +202,12 @@ class RoundEngine {
   // an immutable mask.
   std::unique_ptr<scenario::FleetScenario> scenario_;
   std::vector<char> alive_flags_;
+
+  // Telemetry (observational only; excluded from save_state/restore_state
+  // so checkpoint images stay byte-identical with telemetry on or off).
+  obs::PhaseStats phase_stats_;
+  std::uint64_t wire_bytes_ = 0;
+  std::size_t row_wire_bytes_ = 0;  // precomputed exact bytes per exchange
 };
 
 }  // namespace skiptrain::sim

@@ -90,6 +90,7 @@ ExperimentResult run_experiment(const data::FederatedData& data,
                                 const RunOptions& options) {
   const std::size_t n = data.num_nodes();
   if (n == 0) throw std::invalid_argument("run_experiment: no nodes");
+  const std::uint64_t setup_start = obs::now_ns();
 
   // --- Topology & mixing -------------------------------------------------
   // Dense (the default) keeps the paper's materialized random d-regular
@@ -177,6 +178,7 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   build_engine();
 
   ExperimentResult result;
+  obs::note_phase(result.telemetry.phases, obs::Phase::kSetup, setup_start);
   result.coordinated_training_rounds = 0;
   std::vector<metrics::RoundRecord> restored_records;
 
@@ -197,6 +199,8 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   std::size_t start_round = 0;
   if (options.resume && !options.checkpoint_path.empty() &&
       std::filesystem::exists(options.checkpoint_path)) {
+    obs::PhaseScope restore_scope(result.telemetry.phases,
+                                  obs::Phase::kCheckpoint);
     try {
       const ckpt::FleetImageInfo info =
           ckpt::probe_fleet_image(options.checkpoint_path);
@@ -257,6 +261,7 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   std::vector<double> last_per_node;
   const auto evaluate_now = [&](std::size_t round, core::RoundKind kind,
                                 std::size_t trained) {
+    obs::PhaseScope eval_scope(result.telemetry.phases, obs::Phase::kEval);
     metrics::RoundRecord record;
     record.round = round;
     record.training_round = (kind == core::RoundKind::kTraining);
@@ -292,6 +297,8 @@ ExperimentResult run_experiment(const data::FederatedData& data,
     // the caller persists the finished result instead.
     if (!options.checkpoint_path.empty() && options.checkpoint_every != 0 &&
         t % options.checkpoint_every == 0 && t < options.total_rounds) {
+      obs::PhaseScope ckpt_scope(result.telemetry.phases,
+                                 obs::Phase::kCheckpoint);
       const ckpt::ExperimentState state{
           result.recorder.records(),
           static_cast<std::uint64_t>(result.coordinated_training_rounds),
@@ -313,6 +320,12 @@ ExperimentResult run_experiment(const data::FederatedData& data,
     result.harvested_wh = scn->harvested_mwh_total() / 1000.0;
   }
   result.final_per_node_accuracy = std::move(last_per_node);
+  // Fold the engine's per-round phase times into the trial's telemetry.
+  // rounds counts only the rounds THIS process executed (resume skips the
+  // restored prefix), matching the phase times, which are also fresh-only.
+  result.telemetry.phases.merge(engine.phase_stats());
+  result.telemetry.wire_bytes = engine.wire_bytes_sent();
+  result.telemetry.rounds = engine.rounds_executed() - start_round;
   return result;
 }
 

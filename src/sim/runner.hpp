@@ -12,6 +12,7 @@
 #include "energy/device.hpp"
 #include "metrics/recorder.hpp"
 #include "nn/sequential.hpp"
+#include "obs/phase.hpp"
 #include "quant/codec.hpp"
 
 namespace skiptrain::sim {
@@ -132,6 +133,13 @@ struct ExperimentResult {
   /// Final per-node test accuracies (index = node id); feeds the §5.1
   /// device-fairness analysis.
   std::vector<double> final_per_node_accuracy;
+
+  /// Runtime telemetry for THIS process's execution of the trial: phase
+  /// wall-time breakdown, exact wire bytes, rounds executed. Observational
+  /// only — never serialized into trial-store results or checkpoint
+  /// images, so a resumed trial reports only the work it re-ran (zero if
+  /// served entirely from the store).
+  obs::TrialTelemetry telemetry;
 };
 
 /// Runs one experiment. `prototype` is the initial model shared by all

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -10,19 +9,10 @@
 #include <thread>
 
 #include "ckpt/trial_store.hpp"
+#include "obs/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace skiptrain::sweep {
-
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 void SweepReport::write_csv(const std::string& path) const {
   write_summary_csv(path, trials);
@@ -45,7 +35,7 @@ const TrialResult* SweepReport::find_trial(const std::string& dataset,
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
 
 TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   TrialResult trial;
   trial.spec = spec;
   resumed = false;
@@ -65,7 +55,7 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
         stored.ok()) {
       trial = std::move(stored);
       resumed = true;
-      trial.wall_seconds = seconds_since(start);
+      trial.wall_seconds = watch.seconds();
       if (options_.verbose) {
         std::fprintf(stderr, "[sweep] trial %zu/%s %s resumed from %s\n",
                      spec.index, spec.data.dataset.c_str(),
@@ -77,8 +67,13 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
   }
 
   try {
+    // Bill the dataset fetch (a build on cache miss, a ref-bump on hit) to
+    // the trial's setup phase so per-phase times account for the whole
+    // trial wall-clock, not just run_experiment's interior.
+    const std::uint64_t fetch_start = obs::now_ns();
     const std::shared_ptr<const SharedWorkload> workload =
         cache_.get(spec.data);
+    const std::uint64_t fetch_ns = obs::now_ns() - fetch_start;
     if (checkpointing) {
       // In-flight images let --resume re-enter this trial mid-run after
       // a crash; the spec the sink/CSV see stays untouched.
@@ -96,6 +91,7 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
       trial.result = sim::run_experiment(workload->data, workload->prototype,
                                          spec.options);
     }
+    trial.result.telemetry.phases.add(obs::Phase::kSetup, fetch_ns);
   } catch (const std::exception& e) {
     trial.status = TrialStatus::kFailed;
     trial.error = e.what();
@@ -103,7 +99,7 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
     trial.status = TrialStatus::kFailed;
     trial.error = "unknown exception";
   }
-  trial.wall_seconds = seconds_since(start);
+  trial.wall_seconds = watch.seconds();
   if (checkpointing) {
     // Persistence failures (full disk, permissions) must not tear down
     // the sweep: the in-memory result is intact and still reaches the
@@ -129,13 +125,14 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
 }
 
 SweepReport SweepRunner::run(const SweepGrid& grid) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const std::vector<TrialSpec> trials = grid.expand();
   ResultSink sink(trials.size());
   if (!options_.checkpoint_dir.empty()) {
     std::filesystem::create_directories(options_.checkpoint_dir);
   }
   std::atomic<std::size_t> resumed_trials{0};
+  util::ThreadPool::PoolStats trial_pool_stats{};
   const auto record_one = [&](const TrialSpec& spec) {
     bool resumed = false;
     TrialResult trial = run_trial(spec, resumed);
@@ -171,6 +168,7 @@ SweepReport SweepRunner::run(const SweepGrid& grid) {
       });
     }
     pool.wait_idle();
+    trial_pool_stats = pool.stats();
   }
 
   SweepReport report;
@@ -178,7 +176,11 @@ SweepReport SweepRunner::run(const SweepGrid& grid) {
   report.trials = sink.take_rows();  // also flags any missing slots
   report.failures = sink.failures();
   report.resumed_trials = resumed_trials.load(std::memory_order_relaxed);
-  report.wall_seconds = seconds_since(start);
+  report.wall_seconds = watch.seconds();
+  report.trial_pool = trial_pool_stats;
+  for (const TrialResult& trial : report.trials) {
+    if (trial.ok()) report.telemetry.merge(trial.result.telemetry);
+  }
   return report;
 }
 

@@ -25,9 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase.hpp"
 #include "sweep/dataset_cache.hpp"
 #include "sweep/grid.hpp"
 #include "sweep/result_sink.hpp"
+#include "util/thread_pool.hpp"
 
 namespace skiptrain::sweep {
 
@@ -57,6 +59,16 @@ struct SweepReport {
   std::size_t failures = 0;
   std::size_t resumed_trials = 0;  // loaded from checkpoint, not re-run
   double wall_seconds = 0.0;
+
+  /// Aggregate runtime telemetry over every fresh-run trial (resumed
+  /// trials contribute only their store-load time). Observational only —
+  /// exported by sweep::write_telemetry_json, never part of the CSV.
+  obs::TrialTelemetry telemetry;
+
+  /// Trial-level worker-pool stats (threads > 1 path; zero when trials
+  /// ran inline on the caller). Busy time is tracked only while
+  /// obs::enabled().
+  util::ThreadPool::PoolStats trial_pool{};
 
   bool all_ok() const { return failures == 0; }
 

@@ -1,7 +1,8 @@
 // Umbrella header for the sweep subsystem: declarative parameter grids
 // (grid.hpp), shared dataset caching (dataset_cache.hpp), thread-safe
 // ordered result collection (result_sink.hpp), the concurrent trial
-// executor (runner.hpp), and config-file/preset construction (config.hpp).
+// executor (runner.hpp), config-file/preset construction (config.hpp),
+// and runtime-telemetry export (telemetry.hpp).
 //
 //   sweep::SweepGrid grid = sweep::make_preset("fig3");
 //   sweep::SweepReport report = sweep::SweepRunner({.threads = 4}).run(grid);
@@ -13,3 +14,4 @@
 #include "sweep/grid.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/runner.hpp"
+#include "sweep/telemetry.hpp"

@@ -23,6 +23,7 @@
 #include <new>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "tensor/ops.hpp"
 #include "util/arena.hpp"
 
@@ -462,10 +463,24 @@ const GemmTuning& gemm_tuning() {
 // Public entry points (declared in tensor/ops.hpp)
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Telemetry tap at the dispatch layer: call and MAC volume, not timing —
+/// per-call spans would dwarf the work at training's small shapes.
+void note_gemm(std::size_t m, std::size_t k, std::size_t n) {
+  static const obs::Counter calls = obs::counter("gemm.calls");
+  static const obs::Counter macs = obs::counter("gemm.macs");
+  calls.add(1);
+  macs.add(static_cast<std::uint64_t>(m) * k * n);
+}
+
+}  // namespace
+
 void gemm_nn(std::size_t m, std::size_t k, std::size_t n,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c, float beta) {
   assert(a.size() >= m * k && b.size() >= k * n && c.size() >= m * n);
+  note_gemm(m, k, n);
   // k == 0 must still apply beta to C — the reference handles it.
   if (k == 0 || n < 8 || m * k * n < kBlockedMinVolume) {
     gemm_nn_ref(m, k, n, a, b, c, beta);
@@ -483,6 +498,7 @@ void gemm_nt(std::size_t m, std::size_t k, std::size_t n,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c, float beta) {
   assert(a.size() >= m * k && b.size() >= n * k && c.size() >= m * n);
+  note_gemm(m, k, n);
   if (k == 0 || n < 4 || k > 65536 || m * k * n < kBlockedMinVolume) {
     gemm_nt_ref(m, k, n, a, b, c, beta);
     return;
@@ -494,6 +510,7 @@ void gemm_tn(std::size_t m, std::size_t k, std::size_t n,
              std::span<const float> a, std::span<const float> b,
              std::span<float> c, float beta) {
   assert(a.size() >= k * m && b.size() >= k * n && c.size() >= m * n);
+  note_gemm(m, k, n);
   if (k == 0 || n < 8 || m * k * n < kBlockedMinVolume) {
     gemm_tn_ref(m, k, n, a, b, c, beta);
     return;

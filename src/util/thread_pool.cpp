@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/registry.hpp"
+#include "obs/stopwatch.hpp"
+
 namespace skiptrain::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -29,12 +32,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::lock_guard lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    depth = tasks_.size();
   }
   task_available_.notify_one();
+  if (obs::enabled()) {
+    // High-water mark of the task queue across every pool — a saturated
+    // queue (depth >> workers) signals trial- or node-level imbalance.
+    static const obs::Gauge queue_depth = obs::gauge("pool.queue_depth");
+    queue_depth.set(static_cast<std::int64_t>(depth));
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -56,12 +67,17 @@ void ThreadPool::worker_loop() {
     // in_flight_): log and keep serving. parallel_for chunks never reach
     // this — they capture their own first exception and rethrow it on
     // the calling thread.
+    const std::uint64_t start_ns = obs::enabled() ? obs::now_ns() : 0;
     try {
       task();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[thread_pool] task threw: %s\n", e.what());
     } catch (...) {
       std::fprintf(stderr, "[thread_pool] task threw a non-std exception\n");
+    }
+    if (start_ns != 0) {
+      busy_ns_.fetch_add(obs::now_ns() - start_ns, std::memory_order_relaxed);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     }
     {
       std::lock_guard lock(mutex_);

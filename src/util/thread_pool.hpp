@@ -9,9 +9,11 @@
 // worker) without risking deadlock on a bounded pool.
 #pragma once
 
+#include <atomic>
 #include <concepts>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -74,6 +76,22 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const;
 
+  /// Cumulative worker utilization telemetry. Busy time is wall-clock
+  /// spent inside task bodies, summed over workers; idle time is the
+  /// complement of busy over each worker's lifetime. Tracked only while
+  /// obs::enabled() (two clock reads per task — tasks are chunks, not
+  /// indices); observational only, never read by scheduling decisions.
+  struct PoolStats {
+    std::size_t workers = 0;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t tasks_executed = 0;
+  };
+  [[nodiscard]] PoolStats stats() const {
+    return PoolStats{workers_.size(),
+                     busy_ns_.load(std::memory_order_relaxed),
+                     tasks_executed_.load(std::memory_order_relaxed)};
+  }
+
   /// While an instance is alive, parallel_for / parallel_for_chunks on the
   /// calling thread run serially for EVERY pool, not just the one the
   /// thread belongs to. This extends the nested-serial policy across
@@ -108,6 +126,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
 };
 
 /// Convenience wrapper over ThreadPool::global().parallel_for.

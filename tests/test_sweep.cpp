@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sweep/sweep.hpp"
 
 namespace skiptrain::sweep {
@@ -211,6 +212,57 @@ TEST(SweepRunner, ResultsAreByteIdenticalAcrossWorkerCounts) {
   const std::string serial_bytes = read_file(serial_path);
   EXPECT_FALSE(serial_bytes.empty());
   EXPECT_EQ(serial_bytes, read_file(parallel_path));
+}
+
+TEST(SweepRunner, TracingLeavesSummaryCsvByteIdentical) {
+  // The observability hard constraint: telemetry is observational only.
+  // The SAME grid with phase-span tracing active — and at a different
+  // worker count — must produce the identical summary CSV bytes, and the
+  // trace/telemetry artifacts must come out well-formed.
+  SweepGrid grid = tiny_grid();
+  grid.gamma_trains = {1, 2};
+  grid.seeds = {1, 2};
+
+  SweepOptions untraced_options;
+  untraced_options.threads = 1;
+  const SweepReport untraced = SweepRunner(untraced_options).run(grid);
+
+  const std::string trace_path = testing::TempDir() + "sweep_trace.json";
+  ASSERT_TRUE(obs::start_tracing(trace_path));
+  SweepOptions traced_options;
+  traced_options.threads = 4;
+  const SweepReport traced = SweepRunner(traced_options).run(grid);
+  obs::stop_tracing();
+
+  ASSERT_TRUE(untraced.all_ok());
+  ASSERT_TRUE(traced.all_ok());
+  const std::string untraced_path = testing::TempDir() + "sweep_untraced.csv";
+  const std::string traced_path = testing::TempDir() + "sweep_traced.csv";
+  untraced.write_csv(untraced_path);
+  traced.write_csv(traced_path);
+  const std::string bytes = read_file(untraced_path);
+  EXPECT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes, read_file(traced_path));
+
+  // The trace captured spans for the instrumented phases...
+  const std::string trace = read_file(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("round.train"), std::string::npos);
+  EXPECT_NE(trace.find("round.gossip"), std::string::npos);
+
+  // ...and the aggregate telemetry is consistent: every fresh trial ran 4
+  // rounds, each accumulated per-phase time, and the JSON export parses
+  // far enough to carry the phase map.
+  EXPECT_EQ(traced.telemetry.rounds, 4u * traced.trials.size());
+  EXPECT_GT(traced.telemetry.phases.total_seconds(), 0.0);
+  EXPECT_GT(traced.telemetry.wire_bytes, 0u);
+  const std::string telemetry_path =
+      testing::TempDir() + "sweep_telemetry.json";
+  write_telemetry_json(telemetry_path, traced);
+  const std::string telemetry = read_file(telemetry_path);
+  EXPECT_NE(telemetry.find("\"phases\""), std::string::npos);
+  EXPECT_NE(telemetry.find("\"train\""), std::string::npos);
+  EXPECT_NE(telemetry.find("\"wire_bytes\""), std::string::npos);
 }
 
 TEST(SweepRunner, IdentityCodecLeavesSummaryCsvByteIdentical) {

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Summarize a skiptrain Chrome trace-event JSON (--trace-out artifact).
+
+Reads the trace produced by `--trace-out=<path>` / SKIPTRAIN_TRACE, checks
+it is well-formed, and prints
+
+* a per-span-name table: count, total wall time, total SELF time (wall
+  minus the time covered by same-thread child spans), mean and max span
+  width;
+* the top-5 widest individual spans.
+
+Strictness: any malformed event — missing name/ts/dur/tid, negative
+duration, wrong phase type, or a file that is not a trace-event object —
+exits 2. CI runs this on the traced smoke-sweep artifact, so a tracer
+regression that emits garbage fails the build instead of shipping an
+unloadable trace.
+
+Usage:
+  trace_summary.py TRACE.json [--require name1,name2,...]
+
+--require fails (exit 1) unless every named span appears at least once —
+the CI gate that each instrumented phase actually emitted spans.
+
+Exit status: 0 ok, 1 a --require name is missing, 2 malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(message):
+    print(f"trace_summary: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_events(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {path}: {err}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("not a trace-event document (missing traceEvents)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+    parsed = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"event {i} is not an object")
+        if event.get("ph") != "X":
+            fail(f"event {i} has phase {event.get('ph')!r}, expected 'X'")
+        name = event.get("name")
+        ts = event.get("ts")
+        dur = event.get("dur")
+        tid = event.get("tid")
+        if not isinstance(name, str) or not name:
+            fail(f"event {i} has no name")
+        if not isinstance(ts, (int, float)) or not isinstance(
+            dur, (int, float)
+        ):
+            fail(f"event {i} ({name}) has non-numeric ts/dur")
+        if dur < 0 or ts < 0:
+            fail(f"event {i} ({name}) has negative ts/dur")
+        if not isinstance(tid, int):
+            fail(f"event {i} ({name}) has no integer tid")
+        parsed.append((name, float(ts), float(dur), tid))
+    return parsed
+
+
+def self_times(events):
+    """Wall time per span minus same-thread child spans.
+
+    Spans on one thread are properly nested (RAII scopes), so a child is
+    any span strictly contained in the parent's [ts, ts+dur) on the same
+    tid. Sweep with a stack per thread in start-time order.
+    """
+    per_name = {}
+    by_tid = {}
+    for ev in events:
+        by_tid.setdefault(ev[3], []).append(ev)
+    for tid_events in by_tid.values():
+        tid_events.sort(key=lambda e: (e[1], -e[2]))
+        stack = []  # (name, ts, end, child_total)
+        for name, ts, dur, _tid in tid_events:
+            end = ts + dur
+            while stack and ts >= stack[-1][2]:
+                done = stack.pop()
+                per_name[done[0]] = per_name.get(done[0], 0.0) + (
+                    done[2] - done[1] - done[3]
+                )
+                if stack:
+                    stack[-1][3] += done[2] - done[1]
+            stack.append([name, ts, end, 0.0])
+        while stack:
+            done = stack.pop()
+            per_name[done[0]] = per_name.get(done[0], 0.0) + (
+                done[2] - done[1] - done[3]
+            )
+            if stack:
+                stack[-1][3] += done[2] - done[1]
+    return per_name
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="summarize a skiptrain trace-event JSON"
+    )
+    parser.add_argument("trace", help="trace JSON from --trace-out")
+    parser.add_argument(
+        "--require",
+        default="",
+        help="comma-separated span names that must be present",
+    )
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    if not events:
+        fail("trace contains no events")
+
+    totals = {}
+    for name, _ts, dur, _tid in events:
+        count, total, widest = totals.get(name, (0, 0.0, 0.0))
+        totals[name] = (count + 1, total + dur, max(widest, dur))
+    selfs = self_times(events)
+
+    print(f"{len(events)} spans, {len(totals)} distinct names\n")
+    header = (
+        f"{'span':<24} {'count':>7} {'wall ms':>10} {'self ms':>10} "
+        f"{'mean us':>9} {'max us':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in sorted(totals, key=lambda n: -totals[n][1]):
+        count, total, widest = totals[name]
+        print(
+            f"{name:<24} {count:>7} {total / 1000.0:>10.3f} "
+            f"{selfs.get(name, 0.0) / 1000.0:>10.3f} "
+            f"{total / count:>9.1f} {widest:>9.1f}"
+        )
+
+    print("\ntop-5 widest spans:")
+    for name, ts, dur, tid in sorted(events, key=lambda e: -e[2])[:5]:
+        print(f"  {name:<24} {dur:>10.1f} us  (ts={ts:.1f} us, tid={tid})")
+
+    missing = [
+        name
+        for name in filter(None, args.require.split(","))
+        if name not in totals
+    ]
+    if missing:
+        print(
+            f"trace_summary: required spans missing: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        # stdout was piped to a consumer (head, less) that closed early;
+        # the summary itself is fine — exit quietly instead of tracing back.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
