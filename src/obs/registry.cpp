@@ -10,7 +10,8 @@ namespace skiptrain::obs {
 namespace detail {
 
 std::atomic<bool> g_enabled{[] {
-  const char* env = std::getenv("SKIPTRAIN_OBS");
+  // Static initialisation, single-threaded; no concurrent env mutation.
+  const char* env = std::getenv("SKIPTRAIN_OBS");  // NOLINT(concurrency-mt-unsafe)
   return !(env != nullptr && env[0] == '0' && env[1] == '\0');
 }()};
 

@@ -146,7 +146,8 @@ namespace {
 /// SKIPTRAIN_TRACE=<path> starts a process-lifetime trace before main();
 /// the atexit hook registered by start_tracing finalizes it.
 const bool g_env_autostart = [] {
-  const char* path = std::getenv("SKIPTRAIN_TRACE");
+  // Static initialisation, single-threaded; no concurrent env mutation.
+  const char* path = std::getenv("SKIPTRAIN_TRACE");  // NOLINT(concurrency-mt-unsafe)
   if (path != nullptr && path[0] != '\0') start_tracing(path);
   return true;
 }();

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "ckpt/trial_store.hpp"
 #include "obs/stopwatch.hpp"
@@ -32,7 +33,7 @@ const TrialResult* SweepReport::find_trial(const std::string& dataset,
   });
 }
 
-SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+SweepRunner::SweepRunner(SweepOptions options) : options_(std::move(options)) {}
 
 TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
   const obs::StopWatch watch;

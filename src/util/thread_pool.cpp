@@ -173,7 +173,9 @@ void ThreadPool::parallel_for_chunks(
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("SKIPTRAIN_THREADS")) {
+    // Runs once under the static-local guard, before any pool worker
+    // exists; nothing mutates the environment concurrently.
+    if (const char* env = std::getenv("SKIPTRAIN_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
       const long parsed = std::strtol(env, nullptr, 10);
       if (parsed > 0) return static_cast<std::size_t>(parsed);
     }

@@ -50,10 +50,14 @@ TEST(ObsRegistry, ConcurrentCounterHammerMergesExactly) {
   set_enabled(true);
   const Counter counter_handle = counter("test.hammer.count");
   const Histogram hist_handle = hist("test.hammer.hist");
+  // The baseline snapshot must outlive before_hist: find_histogram
+  // returns a pointer into the snapshot's own vector (dangling if taken
+  // from a temporary — TSan caught exactly that).
+  const Snapshot before = snapshot();
   const std::uint64_t before_count =
-      snapshot().counter_value("test.hammer.count");
+      before.counter_value("test.hammer.count");
   const HistogramValue* before_hist =
-      snapshot().find_histogram("test.hammer.hist");
+      before.find_histogram("test.hammer.hist");
   const std::uint64_t before_hist_count =
       before_hist != nullptr ? before_hist->count : 0;
   const std::uint64_t before_hist_sum =
@@ -61,7 +65,10 @@ TEST(ObsRegistry, ConcurrentCounterHammerMergesExactly) {
 
   constexpr std::size_t kThreads = 8;
   constexpr std::uint64_t kOpsPerThread = 20000;
-  std::vector<std::thread> threads;
+  // Deliberately raw threads: the hammer must exercise shard
+  // registration/retirement from thread exit, which pool workers
+  // (which never exit mid-test) cannot.
+  std::vector<std::thread> threads;  // lint:allow(raw-thread)
   threads.reserve(kThreads);
   for (std::size_t th = 0; th < kThreads; ++th) {
     threads.emplace_back([&, th] {
@@ -134,7 +141,10 @@ TEST(ObsRegistry, QuantileUpperBoundBracketsTheData) {
   set_enabled(true);
   const Histogram h = hist("test.quantile");
   for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
-  const HistogramValue* value = snapshot().find_histogram("test.quantile");
+  // find_histogram returns a pointer into the snapshot's own storage, so
+  // the snapshot must be a named object, not a destroyed temporary.
+  const Snapshot snap = snapshot();
+  const HistogramValue* value = snap.find_histogram("test.quantile");
   ASSERT_NE(value, nullptr);
   // p50 of 1..1000 is 500; the bucket upper bound may overshoot by < 2x.
   const std::uint64_t p50 = value->quantile_upper_bound(0.5);

@@ -130,7 +130,9 @@ TEST(DatasetCache, ConcurrentGetsReturnTheSameBuild) {
   config.samples_per_node = 6;
   config.test_pool = 40;
   std::vector<std::shared_ptr<const SharedWorkload>> seen(8);
-  std::vector<std::thread> threads;
+  // Deliberately raw threads: the point is uncoordinated concurrent
+  // cache.get calls, not pool-scheduled ones.
+  std::vector<std::thread> threads;  // lint:allow(raw-thread)
   for (std::size_t i = 0; i < seen.size(); ++i) {
     threads.emplace_back([&cache, &seen, config, i] {
       seen[i] = cache.get(config);

@@ -1,0 +1,15 @@
+// Fixture: float accumulators in a non-kernel TU. Expected hits:
+//   float-accum x2. The double accumulator must NOT count.
+#include <cstddef>
+
+double reduce(const float* values, std::size_t n) {
+  float sum = 0.0f;        // hit
+  float running_acc{0.0f};  // hit
+  double exact_total = 0.0;  // ok: double accumulator
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += values[i];
+    running_acc += values[i];
+    exact_total += static_cast<double>(values[i]);
+  }
+  return exact_total + static_cast<double>(sum + running_acc);
+}

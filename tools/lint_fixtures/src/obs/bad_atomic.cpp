@@ -1,0 +1,21 @@
+// Fixture: atomic operations with the implicit seq_cst default.
+// Expected hits: atomic-order x4 (tagged HIT). The multi-line fetch_add
+// with an explicit order must NOT count, nor the declaration of a plain
+// local sharing an atomic's name.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> g_events{0};
+std::atomic<bool> g_shutdown{false};
+
+std::uint64_t poke() {
+  g_events.fetch_add(1);                        // HIT: no order
+  g_events++;                                   // HIT: operator seq_cst
+  g_shutdown = true;                            // HIT: operator seq_cst
+  const std::uint64_t g_events_snapshot = g_events.load(  // HIT: no order
+      );
+  g_events.fetch_add(2,
+                     std::memory_order_relaxed);  // ok: order spans lines
+  const std::uint64_t g_shutdown_word = 0;  // ok: declaration, not a store
+  return g_events_snapshot + g_shutdown_word;
+}

@@ -1,0 +1,17 @@
+// Fixture: ad-hoc parallelism outside util/. Expected hits:
+//   raw-thread x1, omp x1. std::this_thread and std::thread::id uses
+//   must NOT count.
+#include <thread>
+
+void spin(int* out, int n) {
+  std::thread worker([out, n] {  // hit: raw thread construction
+    for (int i = 0; i < n; ++i) out[i] = i;
+  });
+  const std::thread::id self = std::this_thread::get_id();  // no hit
+  (void)self;
+#pragma omp parallel for  // hit: omp pragma
+  for (int i = 0; i < n; ++i) {
+    out[i] += 1;
+  }
+  worker.join();
+}

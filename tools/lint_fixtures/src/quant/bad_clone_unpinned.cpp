@@ -1,0 +1,8 @@
+// Fixture: ISA-cloned kernel TU with no -ffp-contract=off pin in the
+// (fixture) CMakeLists.txt. Expected hits: fp-contract-pin x1.
+#include <cstddef>
+
+__attribute__((target_clones("arch=x86-64-v4", "avx2", "default")))
+void scale(float* values, std::size_t n, float factor) {
+  for (std::size_t i = 0; i < n; ++i) values[i] *= factor;
+}

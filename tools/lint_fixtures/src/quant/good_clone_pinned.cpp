@@ -1,0 +1,8 @@
+// Fixture: ISA-cloned kernel TU that IS pinned with -ffp-contract=off
+// in the fixture CMakeLists.txt. Expected hits: none.
+#include <cstddef>
+
+__attribute__((target_clones("arch=x86-64-v4", "avx2", "default")))
+void offset(float* values, std::size_t n, float delta) {
+  for (std::size_t i = 0; i < n; ++i) values[i] += delta;
+}

@@ -1,0 +1,9 @@
+// Fixture: ISA-cloned kernel TU pinned through a CMake variable whose
+// construction contains -ffp-contract=off (mirrors the real tree's
+// SKIPTRAIN_KERNELS_OPTIONS). Expected hits: none.
+#include <cstddef>
+
+__attribute__((target_clones("arch=x86-64-v4", "avx2", "default")))
+void scale(float* values, std::size_t n, float factor) {
+  for (std::size_t i = 0; i < n; ++i) values[i] *= factor;
+}

@@ -1,0 +1,21 @@
+// Fixture: every escape-hatch form. Each line would violate a rule but
+// carries (or inherits) a lint:allow, so expected hits: none.
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <unordered_set>
+
+std::atomic<int> g_spins{0};
+
+int escape_hatches() {
+  int noise = std::rand();  // lint:allow(rng)
+  // lint:allow(raw-thread)
+  std::thread helper([] {});
+  helper.join();
+  g_spins.fetch_add(1);  // lint:allow(atomic-order)
+  float sum = 0.0f;  // lint:allow(float-accum,unordered-iter)
+  for (int v : std::unordered_set<int>{4, 5}) {  // lint:allow(unordered-iter)
+    sum += static_cast<float>(v);
+  }
+  return noise + static_cast<int>(sum);
+}

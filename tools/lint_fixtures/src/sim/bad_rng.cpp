@@ -1,0 +1,15 @@
+// Fixture: every forbidden RNG / wall-clock-seed pattern. Expected hits:
+//   rng x3 (lines tagged RNG), time-seed x2 (lines tagged TIME).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int draw_everything() {
+  int total = std::rand();                     // RNG
+  std::random_device entropy;                  // RNG
+  std::mt19937 engine(entropy());              // RNG
+  total += static_cast<int>(time(nullptr));    // TIME
+  auto wall = std::chrono::system_clock::now();  // TIME
+  (void)wall;
+  return total + static_cast<int>(engine());
+}

@@ -1,0 +1,26 @@
+// Fixture: iteration over unordered containers in a result path.
+// Expected hits: unordered-iter x2.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Sink {
+  std::unordered_map<std::string, double> by_name;
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [name, value] : by_name) {  // hit: declared above
+      (void)name;
+      sum += value;
+    }
+    return sum;
+  }
+};
+
+int count_inline() {
+  int n = 0;
+  for (int v : std::unordered_set<int>{1, 2, 3}) {  // hit: inline temporary
+    n += v;
+  }
+  return n;
+}

@@ -1,0 +1,9 @@
+// Fixture: float accumulators in a kernel TU (src/tensor/ is exempt —
+// kernels own their accumulation-order story). Expected hits: none.
+#include <cstddef>
+
+float dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;  // exempt dir: no hit
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}

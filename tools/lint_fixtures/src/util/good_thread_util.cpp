@@ -1,0 +1,8 @@
+// Fixture: raw threads are util/'s prerogative (the pool lives here).
+// Expected hits: none — src/util/ is exempt from raw-thread and omp.
+#include <thread>
+
+void run_detached(void (*fn)()) {
+  std::thread worker(fn);
+  worker.join();
+}

@@ -1,0 +1,15 @@
+// Fixture: rule scoping for tests/. atomic-order does NOT apply to
+// tests (seq_cst is the conservative default there); raw-thread DOES,
+// so the annotated spawn is the only reason this file is clean.
+// Expected hits: none.
+#include <atomic>
+#include <thread>
+
+std::atomic<int> g_test_counter{0};
+
+void hammer() {
+  std::thread worker([] {  // lint:allow(raw-thread)
+    g_test_counter.fetch_add(1);  // tests exempt from atomic-order
+  });
+  worker.join();
+}
