@@ -62,6 +62,10 @@ inline void add_sweep_flags(util::ArgParser& args) {
   args.add_flag("resume",
                 "skip completed trials and re-enter in-flight ones from "
                 "their last fleet image");
+  args.add_int("keep-generations", 0,
+               "in-flight fleet-image generations each trial retains; "
+               "--resume falls back to the newest one that validates "
+               "(0 = grid default)");
   args.add_string("trace-out", "",
                   "stream phase spans to this Chrome trace-event JSON "
                   "(load in Perfetto); observational only — result bytes "
@@ -155,6 +159,10 @@ inline sweep::SweepReport run_sweep(const sweep::SweepGrid& grid,
     options.checkpoint_every = grid.checkpoint_every;
   }
   options.resume = args.get_flag("resume") || grid.resume;
+  options.keep_generations = flag_size(args, "keep-generations");
+  if (options.keep_generations == 0) {
+    options.keep_generations = grid.keep_generations;
+  }
   // Tracing wraps the whole sweep so the file closes complete even when
   // the harness keeps running afterwards; SKIPTRAIN_TRACE-initiated traces
   // stay process-lifetime and are finalized at exit instead.

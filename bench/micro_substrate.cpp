@@ -527,6 +527,79 @@ void BM_ScenarioTraceStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioTraceStep)->Arg(64)->Arg(256);
 
+// ---------------------------------------------------------------------------
+// Fault-layer kernels (fault/frame.hpp, fault/fault.hpp): what the wire
+// framing and a fully faulted gossip round cost. BM_CrcFrame measures
+// encode_frame + verify_frame (the CRC32C slicing-by-4 path dominates at
+// large dims); BM_FaultedGossipRound runs whole engine rounds under an
+// active drop/corrupt/dup plan, so the framing, per-link stateless draws,
+// and masked difference-form aggregation are all on the clock. Both run
+// under --quick; the CI gate requires the rows so a fault-path regression
+// cannot hide by vanishing.
+// ---------------------------------------------------------------------------
+
+void BM_CrcFrame(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto codec = quant::make_codec(quant::Codec::kIdentity, 42);
+  codec->begin_round(1);
+  std::vector<float> row;
+  codec_bench_row(dim, row);
+  quant::QuantizedRow wire;
+  codec->encode(row, wire);
+  std::vector<std::uint8_t> frame;
+  for (auto _ : state) {
+    fault::encode_frame(wire, frame);
+    benchmark::DoNotOptimize(fault::verify_frame(frame));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_CrcFrame)->Arg(2752)->Arg(100000);
+
+void BM_FaultedGossipRound(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const bool faulted = state.range(1) != 0;
+  data::CifarSynConfig config;
+  config.nodes = nodes;
+  config.samples_per_node = 8;
+  config.test_pool = 10;
+  auto dataset = data::make_cifar_synthetic(config);
+  auto model = nn::make_compact_cifar_model(config.feature_dim);
+  util::Rng rng(14);
+  nn::initialize(model, rng);
+
+  util::Rng topo_rng(15);
+  const auto topology = graph::make_random_regular(nodes, 6, topo_rng);
+  const auto mixing = graph::MixingMatrix::metropolis_hastings(topology);
+  const core::DpsgdScheduler scheduler;
+  const auto fleet = energy::Fleet::even(nodes, energy::Workload::kCifar10);
+  std::vector<std::size_t> degrees(nodes, 6);
+  energy::EnergyAccountant accountant(fleet, energy::CommModel{}, 89834,
+                                      std::move(degrees));
+  sim::EngineConfig engine_config;
+  // One tiny local step: the gossip/fault path is what's on the clock.
+  engine_config.local_steps = 1;
+  engine_config.batch_size = 4;
+  if (faulted) {
+    engine_config.faults =
+        fault::make_plan("drop:0.05,corrupt:0.01,dup:0.02");
+  }
+  sim::RoundEngine engine(model, dataset, mixing, scheduler,
+                          std::move(accountant), engine_config);
+  for (auto _ : state) {
+    engine.run_round();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+  state.SetLabel(faulted ? "faulted" : "lossless");
+}
+BENCHMARK(BM_FaultedGossipRound)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_LocalSgdStep(benchmark::State& state) {
   data::CifarSynConfig config;
   config.nodes = 1;
@@ -673,7 +746,7 @@ int main(int argc, char** argv) {
   }
   if (quick) {
     args.insert(args.begin() + 1,
-                "--benchmark_filter=BM_Aggregate|BM_Gossip|BM_Codec|BM_Checkpoint|BM_Harvest|BM_Scenario|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d|BM_Obs");
+                "--benchmark_filter=BM_Aggregate|BM_Gossip|BM_Codec|BM_Checkpoint|BM_Harvest|BM_Scenario|BM_Gemm(NN|NT|TN)(Blocked|Ref)|BM_Conv2d|BM_Obs|BM_CrcFrame|BM_FaultedGossip");
     args.insert(args.begin() + 1, "--benchmark_min_time=0.05");
   }
   const bool has_out =

@@ -8,8 +8,11 @@
 // Exits non-zero when any trial failed; failures are printed per trial,
 // never swallowed.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
+#include "fault/fault.hpp"
 
 int main(int argc, char** argv) {
   using namespace skiptrain;
@@ -19,7 +22,7 @@ int main(int argc, char** argv) {
   args.add_string("preset", "",
                   "paper preset: fig3 | fig5 | fig6 | table3 | quant | "
                   "smartphone | solar_sensor_fleet | churning_phone_fleet | "
-                  "large_fleet");
+                  "large_fleet | chaotic_fleet");
   args.add_string("config", "", "key=value grid config file");
   args.add_string("csv", "", "summary CSV path (default <name>_sweep.csv)");
   args.add_flag("list", "print the expanded trial list and exit");
@@ -31,6 +34,9 @@ int main(int argc, char** argv) {
   bench::add_sweep_flags(args);
   args.add_string("dataset", "", "cifar | femnist | both (preset default)");
   args.add_int("gamma-max", 4, "fig3: sweep Γ in 1..gamma-max");
+  args.add_string("faults", "",
+                  "override the grid's fault-plan axis: ';'-separated "
+                  "fault::make_plan specs, e.g. 'none;drop:0.05,crash:0.01'");
   args.parse(argc, argv);
 
   if (args.get_int("gamma-max") < 1) {
@@ -55,6 +61,24 @@ int main(int argc, char** argv) {
       params.dataset = args.get_string("dataset");
       params.gamma_max = static_cast<std::size_t>(args.get_int("gamma-max"));
       grid = sweep::make_preset(preset, params);
+    }
+    if (!args.get_string("faults").empty()) {
+      // Fault specs themselves contain commas, so the axis separator is ';'.
+      std::vector<std::string> axis;
+      const std::string& spec_list = args.get_string("faults");
+      std::size_t start = 0;
+      while (start <= spec_list.size()) {
+        const std::size_t end = spec_list.find(';', start);
+        const std::string token = spec_list.substr(
+            start, end == std::string::npos ? std::string::npos : end - start);
+        if (!token.empty()) {
+          fault::make_plan(token).validate();  // reject bad specs up front
+          axis.push_back(token);
+        }
+        if (end == std::string::npos) break;
+        start = end + 1;
+      }
+      grid.faults = std::move(axis);
     }
     trials = grid.expand();  // config-file grids validate axes here
   } catch (const std::exception& e) {

@@ -1,0 +1,22 @@
+// libFuzzer target: the CSR adjacency text parser (`skiptrain-csr v1`).
+// Structural violations — asymmetric edges, self-loops, out-of-range
+// columns, disconnected graphs, absurd node counts — must throw, never
+// crash or allocate proportionally to a lying header.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "graph/sparse.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    (void)skiptrain::graph::CsrGraph::parse(in, "fuzz-input");
+  } catch (const std::exception&) {
+  }
+  return 0;
+}

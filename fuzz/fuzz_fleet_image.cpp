@@ -1,0 +1,23 @@
+// libFuzzer target: the fleet-image probe — the parser that every
+// resume/fallback path trusts first. Hostile bytes must produce a clean
+// ckpt exception, never a crash, hang, or unbounded allocation (the
+// probe's bounded readers cap every count against the byte budget).
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "ckpt/fleet_image.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    (void)skiptrain::ckpt::probe_fleet_image(in, size, "fuzz-input");
+  } catch (const std::exception&) {
+    // Rejection is the expected outcome for almost every mutation.
+  }
+  return 0;
+}

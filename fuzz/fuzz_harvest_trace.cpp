@@ -1,0 +1,22 @@
+// libFuzzer target: the harvest-trace CSV loader. Non-monotone
+// timestamps, NaN/negative harvest, gappy node ids, binary trailing
+// bytes — every malformed line must be rejected with an exception
+// naming it, never accepted or fatal.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "scenario/trace.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    (void)skiptrain::scenario::HarvestTrace::parse_csv(in, "fuzz-input");
+  } catch (const std::exception&) {
+  }
+  return 0;
+}

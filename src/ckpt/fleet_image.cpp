@@ -1,5 +1,6 @@
 #include "ckpt/fleet_image.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -36,22 +37,31 @@ ExperimentState read_experiment(ImageReader& reader) {
 }
 
 /// Writes header + kind/flag bytes + engine payload (+ experiment
-/// section) atomically.
+/// section) atomically, each section sealed with its CRC32C.
 template <typename Engine>
 void save_image(const Engine& engine, EngineKind kind,
-                const ExperimentState* experiment,
-                const std::string& path) {
-  atomic_write(path, [&](std::ostream& out) {
-    write_header(out, kMagic, kFleetImageVersion);
-    ImageWriter writer(out);
-    writer.u8(static_cast<std::uint8_t>(kind));
-    writer.u8(experiment != nullptr ? 1 : 0);
-    // The configuration fingerprint precedes the engine payload so a
-    // resume can reject a stale image BEFORE mutating any engine state.
-    if (experiment != nullptr) writer.str(experiment->fingerprint);
-    engine.save_state(writer);
-    if (experiment != nullptr) write_experiment(writer, *experiment);
-  });
+                const ExperimentState* experiment, const std::string& path,
+                const IoFaultPolicy* io_faults = nullptr) {
+  atomic_write(
+      path,
+      [&](std::ostream& out) {
+        write_header(out, kMagic, kFleetImageVersion);
+        ImageWriter writer(out);
+        writer.u8(static_cast<std::uint8_t>(kind));
+        writer.u8(experiment != nullptr ? 1 : 0);
+        // The configuration fingerprint precedes the engine payload so a
+        // resume can reject a stale image BEFORE mutating any engine
+        // state.
+        if (experiment != nullptr) writer.str(experiment->fingerprint);
+        writer.section_crc();
+        engine.save_state(writer);
+        writer.section_crc();
+        if (experiment != nullptr) {
+          write_experiment(writer, *experiment);
+          writer.section_crc();
+        }
+      },
+      io_faults);
 }
 
 /// Opens + validates the file and hands a bounded reader positioned at
@@ -81,6 +91,7 @@ bool load_image(const std::string& path, EngineKind expected_kind,
                              " has no experiment section");
   }
   const std::string fingerprint = has_experiment ? reader.str() : "";
+  reader.check_section_crc(path + " prefix");
   if (!body(reader, has_experiment, fingerprint)) return false;
   reader.require_exhausted(path);
   files.add(1);
@@ -90,26 +101,35 @@ bool load_image(const std::string& path, EngineKind expected_kind,
 
 }  // namespace
 
-FleetImageInfo probe_fleet_image(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("fleet image: cannot open " + path);
-  const std::uint64_t payload_bytes = read_header(
-      in, file_size_bytes(path), kMagic, kFleetImageVersion, path);
+FleetImageInfo probe_fleet_image(std::istream& in, std::uint64_t file_bytes,
+                                 const std::string& what) {
+  const std::uint64_t payload_bytes =
+      read_header(in, file_bytes, kMagic, kFleetImageVersion, what);
   ImageReader reader(in, payload_bytes);
   FleetImageInfo info;
   const std::uint8_t kind = reader.u8();
   if (kind > static_cast<std::uint8_t>(EngineKind::kAsyncGossip)) {
-    throw std::runtime_error("fleet image: " + path +
+    throw std::runtime_error("fleet image: " + what +
                              " has unknown engine kind " +
                              std::to_string(kind));
   }
   info.engine = static_cast<EngineKind>(kind);
   info.has_experiment = reader.u8() != 0;
   if (info.has_experiment) (void)reader.str();  // configuration fingerprint
+  // The prefix checksum makes the probe trustworthy on its own: a torn
+  // or bit-flipped image is rejected here, before a resume decision is
+  // based on its metadata.
+  reader.check_section_crc(what + " prefix");
   info.nodes = reader.u64();
   info.dim = reader.u64();
   info.round = reader.u64();
   return info;
+}
+
+FleetImageInfo probe_fleet_image(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fleet image: cannot open " + path);
+  return probe_fleet_image(in, file_size_bytes(path), path);
 }
 
 void save_fleet_image(const sim::RoundEngine& engine,
@@ -122,10 +142,14 @@ void restore_fleet_image(sim::RoundEngine& engine, const std::string& path) {
                    [&](ImageReader& reader, bool has_experiment,
                        const std::string&) {
                      engine.restore_state(reader);
+                     reader.check_section_crc(path + " engine payload");
                      // Engine-only restores of an experiment image are
                      // legal (e.g. post-mortem inspection); drain the
                      // section so the trailing-byte check still holds.
-                     if (has_experiment) (void)read_experiment(reader);
+                     if (has_experiment) {
+                       (void)read_experiment(reader);
+                       reader.check_section_crc(path + " experiment");
+                     }
                      return true;
                    });
 }
@@ -141,15 +165,20 @@ void restore_fleet_image(sim::AsyncGossipEngine& engine,
                    [&](ImageReader& reader, bool has_experiment,
                        const std::string&) {
                      engine.restore_state(reader);
-                     if (has_experiment) (void)read_experiment(reader);
+                     reader.check_section_crc(path + " engine payload");
+                     if (has_experiment) {
+                       (void)read_experiment(reader);
+                       reader.check_section_crc(path + " experiment");
+                     }
                      return true;
                    });
 }
 
 void save_experiment_image(const sim::RoundEngine& engine,
                            const ExperimentState& experiment,
-                           const std::string& path) {
-  save_image(engine, EngineKind::kRoundEngine, &experiment, path);
+                           const std::string& path,
+                           const IoFaultPolicy* io_faults) {
+  save_image(engine, EngineKind::kRoundEngine, &experiment, path, io_faults);
 }
 
 bool restore_experiment_image(sim::RoundEngine& engine,
@@ -166,7 +195,9 @@ bool restore_experiment_image(sim::RoundEngine& engine,
           return false;
         }
         engine.restore_state(reader);
+        reader.check_section_crc(path + " engine payload");
         experiment = read_experiment(reader);
+        reader.check_section_crc(path + " experiment");
         experiment.fingerprint = fingerprint;
         return true;
       });
@@ -184,6 +215,40 @@ void write_round_record(ImageWriter& writer,
   writer.f64(record.comm_energy_wh);
   writer.u64(record.nodes_trained);
   writer.f64(record.consensus);
+}
+
+void rotate_generations(const std::string& path, std::size_t keep) {
+  if (keep <= 1) return;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return;
+  // Oldest first: path.g{keep-2} -> path.g{keep-1}, ..., path -> path.g1.
+  // Renames are best-effort (a missing intermediate generation is normal
+  // early in a run); the newest image is the one whose loss would hurt,
+  // and its slot is vacated last.
+  for (std::size_t g = keep - 1; g >= 2; --g) {
+    const std::string from = path + ".g" + std::to_string(g - 1);
+    if (std::filesystem::exists(from, ec) && !ec) {
+      std::filesystem::rename(from, path + ".g" + std::to_string(g), ec);
+    }
+  }
+  std::filesystem::rename(path, path + ".g1", ec);
+}
+
+std::vector<std::string> generation_paths(const std::string& path,
+                                          std::size_t keep) {
+  std::vector<std::string> paths{path};
+  for (std::size_t g = 1; g < keep; ++g) {
+    paths.push_back(path + ".g" + std::to_string(g));
+  }
+  return paths;
+}
+
+void remove_generations(const std::string& path, std::size_t keep) {
+  std::error_code ec;
+  for (const std::string& candidate :
+       generation_paths(path, keep == 0 ? 1 : keep)) {
+    std::filesystem::remove(candidate, ec);
+  }
 }
 
 metrics::RoundRecord read_round_record(ImageReader& reader) {

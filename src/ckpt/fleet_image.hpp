@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -46,7 +47,10 @@ class RoundEngine;
 
 namespace skiptrain::ckpt {
 
-inline constexpr std::uint32_t kFleetImageVersion = 1;
+/// v2 added per-section CRC32C checksums (prefix / engine payload /
+/// experiment section), so a torn or bit-flipped image is rejected by
+/// checksum before a half-parsed payload can reach an engine.
+inline constexpr std::uint32_t kFleetImageVersion = 2;
 
 enum class EngineKind : std::uint8_t {
   kRoundEngine = 0,
@@ -65,6 +69,14 @@ struct FleetImageInfo {
 };
 
 [[nodiscard]] FleetImageInfo probe_fleet_image(const std::string& path);
+
+/// Stream-level probe over exactly `file_bytes` of image bytes; `what`
+/// names the source in error messages. The path overload wraps this —
+/// exposed separately so hostile-input harnesses (fuzzers, bit-flip
+/// matrices) can drive the parser from memory.
+[[nodiscard]] FleetImageInfo probe_fleet_image(std::istream& in,
+                                               std::uint64_t file_bytes,
+                                               const std::string& what);
 
 /// Engine-only images (tests, examples, ad-hoc snapshots). The restore
 /// functions throw std::runtime_error on any mismatch or corruption;
@@ -92,9 +104,12 @@ struct ExperimentState {
   std::string fingerprint{};
 };
 
+/// `io_faults` (optional) enables deterministic write-failure injection
+/// with bounded retry — see ckpt::IoFaultPolicy.
 void save_experiment_image(const sim::RoundEngine& engine,
                            const ExperimentState& experiment,
-                           const std::string& path);
+                           const std::string& path,
+                           const IoFaultPolicy* io_faults = nullptr);
 
 /// Restores an experiment image. When `expected_fingerprint` is
 /// non-empty and differs from the image's stored fingerprint, returns
@@ -116,5 +131,27 @@ inline constexpr std::size_t kRoundRecordWireBytes =
 void write_round_record(ImageWriter& writer,
                         const metrics::RoundRecord& record);
 [[nodiscard]] metrics::RoundRecord read_round_record(ImageReader& reader);
+
+// --- multi-generation retention --------------------------------------------
+//
+// With keep_generations = N > 1, each checkpoint keeps the N most recent
+// images: `path` is the newest, `path.g1` the previous, up to
+// `path.g{N-1}`. A resume walks newest -> oldest and restores from the
+// first generation that validates, so one corrupt or torn image costs at
+// most `checkpoint_every` rounds of recomputation, never the run.
+
+/// Shifts existing generations one slot older (path -> path.g1 -> ...;
+/// the oldest falls off). Call immediately before writing a new image at
+/// `path`. No-op when keep <= 1 or `path` does not exist yet.
+void rotate_generations(const std::string& path, std::size_t keep);
+
+/// Candidate restore paths, newest first: path, path.g1, ...,
+/// path.g{keep-1}. keep = 0 is treated as 1.
+[[nodiscard]] std::vector<std::string> generation_paths(
+    const std::string& path, std::size_t keep);
+
+/// Best-effort removal of `path` and every `path.gN` sibling (sweep
+/// cleanup after a trial's result is durably stored).
+void remove_generations(const std::string& path, std::size_t keep);
 
 }  // namespace skiptrain::ckpt

@@ -8,6 +8,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 
 namespace skiptrain::ckpt {
 
@@ -15,6 +16,14 @@ void ImageWriter::bytes(const void* data, std::size_t size) {
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(size));
   if (!out_) throw std::runtime_error("ckpt: write failed");
+  crc_ = fault::crc32c_update(crc_, data, size);
+}
+
+void ImageWriter::section_crc() {
+  const std::uint32_t value = fault::crc32c_finish(crc_);
+  out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  if (!out_) throw std::runtime_error("ckpt: write failed");
+  crc_ = fault::kCrc32cInit;
 }
 
 void ImageWriter::str(const std::string& text) {
@@ -47,7 +56,7 @@ void ImageWriter::u64_vec(std::span<const std::size_t> values) {
   }
 }
 
-void ImageReader::bytes(void* data, std::size_t size) {
+void ImageReader::raw_bytes(void* data, std::size_t size) {
   if (size > remaining_) {
     throw std::runtime_error("ckpt: truncated image (need " +
                              std::to_string(size) + " bytes, " +
@@ -58,6 +67,24 @@ void ImageReader::bytes(void* data, std::size_t size) {
     throw std::runtime_error("ckpt: truncated image (short read)");
   }
   remaining_ -= size;
+}
+
+void ImageReader::bytes(void* data, std::size_t size) {
+  raw_bytes(data, size);
+  crc_ = fault::crc32c_update(crc_, data, size);
+}
+
+void ImageReader::check_section_crc(const std::string& what) {
+  const std::uint32_t expected = fault::crc32c_finish(crc_);
+  std::uint32_t stored = 0;
+  raw_bytes(&stored, sizeof(stored));
+  if (stored != expected) {
+    throw std::runtime_error("ckpt: " + what +
+                             " section checksum mismatch (stored " +
+                             std::to_string(stored) + ", computed " +
+                             std::to_string(expected) + ")");
+  }
+  crc_ = fault::kCrc32cInit;
 }
 
 std::uint8_t ImageReader::u8() {
@@ -182,13 +209,46 @@ std::uint64_t file_size_bytes(const std::string& path) {
   return static_cast<std::uint64_t>(size);
 }
 
+namespace {
+
+std::uint64_t path_hash(const std::string& path) {
+  std::uint64_t hash = 0x434b50545f504154ULL;  // "CKPT_PAT"
+  for (const char c : path) {
+    hash = util::hash_combine(hash, static_cast<unsigned char>(c));
+  }
+  return hash;
+}
+
+}  // namespace
+
 void atomic_write(const std::string& path,
-                  const std::function<void(std::ostream&)>& payload) {
+                  const std::function<void(std::ostream&)>& payload,
+                  const IoFaultPolicy* io_faults) {
   OBS_SPAN("ckpt.write");
   static const obs::Counter files = obs::counter("ckpt.files_written");
   static const obs::Counter bytes = obs::counter("ckpt.bytes_written");
   static const obs::Histogram latency = obs::hist_ns("ckpt.write.ns");
   const obs::StopWatch watch;
+  if (io_faults != nullptr && io_faults->plan.io_faults()) {
+    static const obs::Counter injected = obs::counter("fault.io.injected");
+    static const obs::Counter retries = obs::counter("fault.io.retries");
+    const std::uint64_t site = path_hash(path);
+    const std::uint64_t attempts = io_faults->plan.io_retries + 1;
+    std::uint64_t attempt = 0;
+    while (fault::io_attempt_fails(io_faults->plan, io_faults->seed, site,
+                                   attempt)) {
+      injected.add(1);
+      ++attempt;
+      if (attempt >= attempts) {
+        throw std::runtime_error(
+            "ckpt: injected IO failure persisted through " +
+            std::to_string(attempts) + " attempts for " + path);
+      }
+      // Virtual-time backoff: the retry is accounted, never slept —
+      // simulated rounds advance on their own clock, not the wall's.
+      retries.add(1);
+    }
+  }
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

@@ -32,10 +32,18 @@
 #include <string>
 #include <vector>
 
+#include "fault/crc32c.hpp"
+#include "fault/fault.hpp"
+
 namespace skiptrain::ckpt {
 
 /// Typed, size-checked writes onto a binary output stream. Throws
 /// std::runtime_error when the underlying stream fails.
+///
+/// Every write feeds a running CRC32C; section_crc() emits the checksum
+/// of everything written since the previous mark (the CRC bytes
+/// themselves are excluded) and resets the accumulator — the hook behind
+/// the per-section checksums of fleet images (v2+).
 class ImageWriter {
  public:
   explicit ImageWriter(std::ostream& out) : out_(out) {}
@@ -60,8 +68,13 @@ class ImageWriter {
   void f64_vec(std::span<const double> values);
   void u64_vec(std::span<const std::size_t> values);
 
+  /// Writes the CRC32C of every byte since the last mark (u32, excluded
+  /// from the accumulation) and starts a new section.
+  void section_crc();
+
  private:
   std::ostream& out_;
+  std::uint32_t crc_ = fault::kCrc32cInit;
 };
 
 /// Typed, bounds-checked reads from a binary input stream holding exactly
@@ -103,9 +116,20 @@ class ImageReader {
   /// exactly. `what` names the file/format for the error message.
   void require_exhausted(const std::string& what) const;
 
+  /// Counterpart of ImageWriter::section_crc: reads the stored u32 (not
+  /// fed to the accumulator), compares it against the CRC32C of every
+  /// byte read since the last mark, throws std::runtime_error naming
+  /// `what` on mismatch, and starts a new section.
+  void check_section_crc(const std::string& what);
+
  private:
+  /// Bounded read that bypasses the CRC accumulator (the stored CRC
+  /// bytes themselves).
+  void raw_bytes(void* data, std::size_t size);
+
   std::istream& in_;
   std::uint64_t remaining_;
+  std::uint32_t crc_ = fault::kCrc32cInit;
 };
 
 /// 4-byte magic + u32 format version — the header every image format
@@ -127,9 +151,23 @@ std::uint64_t read_header(std::istream& in, std::uint64_t file_bytes,
 /// not exist or is not a regular file.
 std::uint64_t file_size_bytes(const std::string& path);
 
+/// Deterministic disk-IO chaos for atomic_write: when a fault plan with
+/// io:P is active, each write attempt draws from the stateless stream
+/// keyed on (seed, path hash, attempt). Failed attempts retry with
+/// virtual-time backoff (counted, never slept — simulation time is not
+/// wall time) up to plan.io_retries extra attempts before the failure
+/// propagates as the same std::runtime_error a real full disk would.
+struct IoFaultPolicy {
+  fault::FaultPlan plan;      // io_fail_prob / io_retries are consulted
+  std::uint64_t seed = 0;     // experiment seed
+};
+
 /// Writes `payload(out)` into `<path>.tmp`, flushes, then renames over
-/// `path` — so an existing image survives a crash mid-write.
+/// `path` — so an existing image survives a crash mid-write. With a
+/// non-null `io_faults` policy, injected write failures are retried
+/// deterministically as described on IoFaultPolicy.
 void atomic_write(const std::string& path,
-                  const std::function<void(std::ostream&)>& payload);
+                  const std::function<void(std::ostream&)>& payload,
+                  const IoFaultPolicy* io_faults = nullptr);
 
 }  // namespace skiptrain::ckpt

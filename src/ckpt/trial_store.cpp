@@ -7,6 +7,7 @@
 
 #include "ckpt/fleet_image.hpp"
 #include "ckpt/io.hpp"
+#include "fault/fault.hpp"
 #include "graph/sparse.hpp"
 #include "quant/codec.hpp"
 #include "scenario/scenario.hpp"
@@ -49,6 +50,7 @@ std::string trial_fingerprint(const sweep::TrialSpec& spec) {
   fp += "|codec=" + std::string(quant::codec_token(o.exchange_codec));
   fp += "|scn=" + scenario::scenario_token(o.scenario);
   fp += "|topo=" + graph::topology_token(o.topology);
+  fp += "|flt=" + fault::fault_token(o.faults);
   fp += "|wl=" + std::to_string(static_cast<int>(o.workload));
   fp += "|bs=" + hex_float(o.budget_scale);
   fp += "|ee=" + std::to_string(o.eval_every);
@@ -85,25 +87,34 @@ void write_trial_result(const sweep::TrialResult& result,
     writer.f64(r.mean_availability);
     writer.u64(r.down_node_rounds);
     writer.f64(r.harvested_wh);
+    writer.u64(r.dropped_messages);
+    writer.u64(r.corrupt_messages);
+    writer.u64(r.duplicated_messages);
+    writer.u64(r.crash_down_rounds);
+    writer.f64(r.delivery_rate);
     writer.f64_vec(r.final_per_node_accuracy);
     writer.str(r.recorder.name());
     writer.u64(r.recorder.records().size());
     for (const metrics::RoundRecord& record : r.recorder.records()) {
       write_round_record(writer, record);
     }
+    writer.section_crc();
   });
 }
 
-bool load_trial_result(const sweep::TrialSpec& spec, const std::string& path,
-                       sweep::TrialResult& out) {
+TrialLoadStatus load_trial_result_status(const sweep::TrialSpec& spec,
+                                         const std::string& path,
+                                         sweep::TrialResult& out) {
   try {
     std::ifstream in(path, std::ios::binary);
-    if (!in) return false;
+    if (!in) return TrialLoadStatus::kMissing;
     const std::uint64_t payload_bytes = read_header(
         in, file_size_bytes(path), kMagic, kTrialResultVersion, path);
     ImageReader reader(in, payload_bytes);
-    if (reader.u64() != spec.index) return false;
-    if (reader.str() != trial_fingerprint(spec)) return false;
+    if (reader.u64() != spec.index) return TrialLoadStatus::kStale;
+    if (reader.str() != trial_fingerprint(spec)) {
+      return TrialLoadStatus::kStale;
+    }
 
     sweep::TrialResult trial;
     trial.spec = spec;
@@ -126,6 +137,11 @@ bool load_trial_result(const sweep::TrialSpec& spec, const std::string& path,
     r.mean_availability = reader.f64();
     r.down_node_rounds = static_cast<std::size_t>(reader.u64());
     r.harvested_wh = reader.f64();
+    r.dropped_messages = static_cast<std::size_t>(reader.u64());
+    r.corrupt_messages = static_cast<std::size_t>(reader.u64());
+    r.duplicated_messages = static_cast<std::size_t>(reader.u64());
+    r.crash_down_rounds = static_cast<std::size_t>(reader.u64());
+    r.delivery_rate = reader.f64();
     r.final_per_node_accuracy = reader.f64_vec();
     r.recorder = metrics::Recorder(reader.str());
     const std::uint64_t records =
@@ -133,14 +149,21 @@ bool load_trial_result(const sweep::TrialSpec& spec, const std::string& path,
     for (std::uint64_t i = 0; i < records; ++i) {
       r.recorder.add(read_round_record(reader));
     }
+    reader.check_section_crc(path);
     reader.require_exhausted(path);
     out = std::move(trial);
-    return true;
+    return TrialLoadStatus::kLoaded;
   } catch (const std::exception&) {
-    // Corrupt / truncated / stale result files are not fatal: the trial
-    // simply reruns.
-    return false;
+    // Corrupt / truncated result files are not fatal: the caller
+    // quarantines and reruns the trial.
+    return TrialLoadStatus::kCorrupt;
   }
+}
+
+bool load_trial_result(const sweep::TrialSpec& spec, const std::string& path,
+                       sweep::TrialResult& out) {
+  return load_trial_result_status(spec, path, out) ==
+         TrialLoadStatus::kLoaded;
 }
 
 void append_manifest(const std::string& dir, std::size_t index, bool ok) {

@@ -32,8 +32,10 @@
 namespace skiptrain::ckpt {
 
 // v2 added the scenario telemetry fields (availability, down node-rounds,
-// harvested energy). Old v1 files fail the version check and rerun.
-inline constexpr std::uint32_t kTrialResultVersion = 2;
+// harvested energy). v3 added the fault telemetry fields (delivery
+// counters), the fault-plan fingerprint token, and a trailing payload
+// CRC32C. Old files fail the version check and rerun.
+inline constexpr std::uint32_t kTrialResultVersion = 3;
 
 /// `<dir>/trial_<zero-padded index>` — the base both per-trial file
 /// names share.
@@ -49,10 +51,25 @@ inline constexpr std::uint32_t kTrialResultVersion = 2;
 void write_trial_result(const sweep::TrialResult& result,
                         const std::string& path);
 
+/// Why a stored trial result could (or could not) be adopted. The
+/// distinction drives the sweep runner's quarantine policy: kCorrupt
+/// entries are renamed to `<path>.bad` and recomputed; kMissing/kStale
+/// simply rerun.
+enum class TrialLoadStatus {
+  kLoaded,   // adopted into `out`
+  kMissing,  // no file at `path`
+  kStale,    // valid file, but for a different trial configuration
+  kCorrupt,  // truncated, bit-flipped, or otherwise malformed
+};
+
 /// Loads a completed trial saved by write_trial_result into `out`,
-/// adopting `spec` as the result's spec. Returns false — without
-/// modifying `out` — when the file is missing, unreadable, malformed, or
-/// was written for a different trial configuration.
+/// adopting `spec` as the result's spec. `out` is modified only when the
+/// returned status is kLoaded.
+[[nodiscard]] TrialLoadStatus load_trial_result_status(
+    const sweep::TrialSpec& spec, const std::string& path,
+    sweep::TrialResult& out);
+
+/// Boolean convenience wrapper: true iff kLoaded.
 [[nodiscard]] bool load_trial_result(const sweep::TrialSpec& spec,
                                      const std::string& path,
                                      sweep::TrialResult& out);

@@ -27,6 +27,9 @@
 #include "energy/accountant.hpp"
 #include "energy/device.hpp"
 #include "energy/fleet.hpp"
+#include "fault/crc32c.hpp"
+#include "fault/fault.hpp"
+#include "fault/frame.hpp"
 #include "graph/mixing.hpp"
 #include "graph/topology.hpp"
 #include "metrics/consensus.hpp"

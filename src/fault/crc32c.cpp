@@ -1,0 +1,62 @@
+#include "fault/crc32c.hpp"
+
+#include <array>
+
+namespace skiptrain::fault {
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78U;
+
+struct Tables {
+  // tables[k][b]: CRC contribution of byte b seen k positions before the
+  // end of a 4-byte group (slicing-by-4).
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+};
+
+constexpr Tables make_tables() {
+  Tables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1U) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (std::size_t k = 1; k < 4; ++k) {
+      crc = tables.t[0][crc & 0xffU] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t crc, const void* data,
+                            std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  // Head: bytes until 4-byte alignment of the remaining length.
+  while (bytes != 0 && (bytes & 3U) != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xffU] ^ (crc >> 8);
+    --bytes;
+  }
+  while (bytes >= 4) {
+    // Byte-wise loads keep the result endian-independent.
+    const std::uint32_t w = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                   static_cast<std::uint32_t>(p[1]) << 8 |
+                                   static_cast<std::uint32_t>(p[2]) << 16 |
+                                   static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][w & 0xffU] ^ kTables.t[2][(w >> 8) & 0xffU] ^
+          kTables.t[1][(w >> 16) & 0xffU] ^ kTables.t[0][(w >> 24) & 0xffU];
+    p += 4;
+    bytes -= 4;
+  }
+  return crc;
+}
+
+}  // namespace skiptrain::fault

@@ -1,0 +1,34 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the integrity
+// check behind the fault layer's wire frames and the per-section
+// checksums on fleet images.
+//
+// Portable table-driven implementation (slicing-by-4): no SSE4.2
+// dependency, byte-order independent output, bit-identical on every
+// platform the simulator builds on. The incremental form (`update`)
+// lets ckpt::ImageWriter/ImageReader accumulate a running CRC across
+// many small writes without buffering a section.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace skiptrain::fault {
+
+/// Incremental CRC32C: feeds `bytes` into a running crc. Start from
+/// `kCrc32cInit` and finish with `crc32c_finish` (or use crc32c()).
+inline constexpr std::uint32_t kCrc32cInit = 0xffffffffU;
+
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t crc, const void* data,
+                                          std::size_t bytes);
+
+[[nodiscard]] inline constexpr std::uint32_t crc32c_finish(std::uint32_t crc) {
+  return crc ^ 0xffffffffU;
+}
+
+/// One-shot CRC32C of a buffer.
+[[nodiscard]] inline std::uint32_t crc32c(const void* data,
+                                          std::size_t bytes) {
+  return crc32c_finish(crc32c_update(kCrc32cInit, data, bytes));
+}
+
+}  // namespace skiptrain::fault

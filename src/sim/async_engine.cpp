@@ -5,6 +5,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "fault/frame.hpp"
 #include "obs/registry.hpp"
 #include "sim/state_io.hpp"
 #include "tensor/ops.hpp"
@@ -44,6 +45,13 @@ AsyncGossipEngine::AsyncGossipEngine(const nn::Sequential& prototype,
     codec_ = quant::make_codec(config_.exchange_codec, config_.seed);
   }
   row_wire_bytes_ = quant::exact_row_wire_bytes(config_.exchange_codec, dim);
+  config_.faults.validate();
+  if (config_.faults.link_faults()) {
+    if (codec_ == nullptr) {
+      fault_codec_ = quant::make_codec(quant::Codec::kIdentity, config_.seed);
+    }
+    row_wire_bytes_ += fault::kFrameOverheadBytes;
+  }
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, prototype, data.node_view(i),
@@ -114,6 +122,11 @@ detail::EngineIdentity AsyncGossipEngine::identity() const {
   if (config_.topology_hash != 0) {
     aux = util::hash_combine(aux, config_.topology_hash);
   }
+  if (config_.faults.enabled) {
+    // Resuming under a different fault plan would silently change which
+    // pushes get lost — refuse, like a scenario mismatch.
+    aux = util::hash_combine(aux, config_.faults.config_hash());
+  }
   return detail::EngineIdentity{nodes_.size(),
                                 models_.dim(),
                                 config_.seed,
@@ -155,6 +168,15 @@ void AsyncGossipEngine::save_state(ckpt::ImageWriter& writer) const {
   // scenario-free image layout is unchanged, and the aux_bits identity
   // check guarantees reader and writer agree on this section's presence.
   if (scenario_ != nullptr) scenario_->save_state(writer);
+  // Fault tallies are simulation state (the counts feed the summary CSV);
+  // the draws themselves are stateless and need nothing here.
+  if (config_.faults.enabled) {
+    writer.u64(fault_stats_.attempted_deliveries);
+    writer.u64(fault_stats_.dropped);
+    writer.u64(fault_stats_.corrupt);
+    writer.u64(fault_stats_.duplicated);
+    writer.u64(fault_stats_.crash_down_rounds);
+  }
 }
 
 void AsyncGossipEngine::restore_state(ckpt::ImageReader& reader) {
@@ -206,6 +228,13 @@ void AsyncGossipEngine::restore_state(ckpt::ImageReader& reader) {
   }
   for (auto& node : nodes_) detail::read_node_state(reader, *node);
   if (scenario_ != nullptr) scenario_->restore_state(reader);
+  if (config_.faults.enabled) {
+    fault_stats_.attempted_deliveries = reader.u64();
+    fault_stats_.dropped = reader.u64();
+    fault_stats_.corrupt = reader.u64();
+    fault_stats_.duplicated = reader.u64();
+    fault_stats_.crash_down_rounds = reader.u64();
+  }
 
   activations_ = static_cast<std::size_t>(activations);
   trainings_ = static_cast<std::size_t>(trainings);
@@ -233,6 +262,16 @@ void AsyncGossipEngine::activate(std::size_t node) {
                         node});
       return;
     }
+  }
+
+  // Crash-restart outage drawn on the node's LOCAL round: burn a dormant
+  // activation (no train/merge/push/billing, model frozen in its row) and
+  // poll again after a full training period.
+  if (config_.faults.crash_faults() &&
+      fault::node_down(config_.faults, config_.seed, node, t)) {
+    ++fault_stats_.crash_down_rounds;
+    queue_.push(Event{now_ + train_seconds_[node], node});
+    return;
   }
 
   // 1-2. Local training decision on the node's own round counter.
@@ -310,6 +349,18 @@ void AsyncGossipEngine::activate(std::size_t node) {
   } else {
     tensor::copy(mine, outbox_.row(node));
   }
+  const bool link_active = config_.faults.link_faults();
+  if (link_active) {
+    // Frame the pushed payload once; every directed link draws its fate
+    // against this frame. Without an exchange codec the identity fallback
+    // packs the float32 row (decode is bit-exact, so receivers keep
+    // merging the outbox row directly).
+    if (codec_ == nullptr) {
+      fault_codec_->begin_round(t);
+      fault_codec_->encode(mine, wire_scratch_);
+    }
+    fault::encode_frame(wire_scratch_, frame_scratch_);
+  }
   for (const std::size_t peer : neighbors) {
     // Find this node's slot at the peer (neighbor lists are sorted).
     const auto& peer_neighbors = topology_.neighbors(peer);
@@ -317,6 +368,31 @@ void AsyncGossipEngine::activate(std::size_t node) {
                                      peer_neighbors.end(), node);
     const auto slot =
         static_cast<std::size_t>(it - peer_neighbors.begin());
+    if (link_active) {
+      ++fault_stats_.attempted_deliveries;
+      const fault::LinkDraw draw =
+          fault::link_draw(config_.faults, config_.seed, t, node, peer);
+      if (draw.drop) {
+        ++fault_stats_.dropped;
+        continue;
+      }
+      // A duplicate lands in the mailbox slot the first copy already
+      // flagged — absorbed by construction, only counted.
+      if (draw.duplicate) ++fault_stats_.duplicated;
+      if (draw.corrupt) {
+        // In-flight bit flip on this receiver's copy; CRC32C detects
+        // every single-bit error, so the check cannot pass — but the
+        // receiver still runs it rather than assume.
+        std::vector<std::uint8_t> tampered(frame_scratch_);
+        fault::flip_bit(tampered,
+                        fault::corrupt_bit_index(config_.seed, t, node, peer,
+                                                 tampered.size()));
+        if (!fault::verify_frame(tampered)) {
+          ++fault_stats_.corrupt;
+          continue;
+        }
+      }
+    }
     fresh_[peer][slot] = 1;
   }
   obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);

@@ -27,6 +27,7 @@
 #include "core/scheduler.hpp"
 #include "data/dataset.hpp"
 #include "energy/accountant.hpp"
+#include "fault/fault.hpp"
 #include "graph/topology.hpp"
 #include "nn/sequential.hpp"
 #include "obs/phase.hpp"
@@ -76,6 +77,15 @@ struct AsyncConfig {
   /// and polls again after dormant_wait_factor x its training duration,
   /// so its model freezes in place until harvest revives it.
   scenario::ScenarioConfig scenario{};
+
+  /// Deterministic fault plan (fault/fault.hpp). Link faults are drawn at
+  /// push time per directed (sender, neighbor) edge on the sender's LOCAL
+  /// round: a dropped or CRC-rejected frame never flags the neighbor's
+  /// mailbox slot (the merge simply sees no fresh delivery), and a
+  /// duplicate lands in the already-flagged slot — absorbed by
+  /// construction, so the engine is idempotent to duplicated deliveries.
+  /// Crash faults burn dormant activations exactly like scenario churn.
+  fault::FaultPlan faults{};
 };
 
 class AsyncGossipEngine {
@@ -105,6 +115,10 @@ class AsyncGossipEngine {
 
   /// Battery/churn state when a scenario is enabled; nullptr otherwise.
   const scenario::FleetScenario* scenario() const { return scenario_.get(); }
+
+  /// Lifetime fault telemetry (all zero without a fault plan);
+  /// checkpointed and restored, like the sync engine's.
+  const fault::FaultStats& fault_stats() const { return fault_stats_; }
 
   /// Per-phase wall time accumulated by activate() (observational only —
   /// never serialized, never fed back into scheduling). The event loop is
@@ -179,6 +193,14 @@ class AsyncGossipEngine {
   // sender (per-sender payloads would hold ~n·dim dead wire bytes).
   std::unique_ptr<quant::RowCodec> codec_;
   quant::QuantizedRow wire_scratch_;
+
+  // Fault-plan wire staging (link faults only): the identity fallback
+  // codec packs float32 pushes into wire_scratch_ when no exchange codec
+  // is configured, and frame_scratch_ holds the pushed payload's CRC32C
+  // frame (the event loop is serial, so one buffer serves every sender).
+  std::unique_ptr<quant::RowCodec> fault_codec_;
+  std::vector<std::uint8_t> frame_scratch_;
+  fault::FaultStats fault_stats_;
 
   // Scenario state (nullptr when config_.scenario is disabled). The event
   // loop is serial, so batteries step with no synchronization concerns.

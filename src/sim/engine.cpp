@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fault/frame.hpp"
 #include "obs/registry.hpp"
 #include "sim/state_io.hpp"
 #include "tensor/ops.hpp"
@@ -63,6 +64,22 @@ RoundEngine::RoundEngine(const nn::Sequential& prototype,
       config_.exchange_codec,
       config_.sparse_exchange_k == 0 ? plane_.dim() : staged_.dim());
 
+  config_.faults.validate();
+  if (config_.faults.link_faults()) {
+    // Framed exchanges: every row ships as a CRC32C frame. The identity
+    // fallback codec exists only to pack float32 rows into QuantizedRow
+    // form for framing — its decode is bit-exact, so receivers consume
+    // the plane/staging rows directly and the no-codec values are
+    // untouched.
+    if (codec_ == nullptr) {
+      fault_codec_ = quant::make_codec(quant::Codec::kIdentity, config_.seed);
+      wire_rows_.resize(n);
+    }
+    frames_.resize(n);
+    link_tally_.resize(n);
+    row_wire_bytes_ += fault::kFrameOverheadBytes;
+  }
+
   if (config_.scenario.enabled) {
     // Battery/harvest magnitudes scale from each node's own per-round
     // training energy, so one scenario config fits any workload.
@@ -72,6 +89,8 @@ RoundEngine::RoundEngine(const nn::Sequential& prototype,
     }
     scenario_ = std::make_unique<scenario::FleetScenario>(
         config_.scenario, n, config_.seed, std::move(train_costs));
+  }
+  if (config_.scenario.enabled || config_.faults.crash_faults()) {
     alive_flags_.assign(n, 1);
   }
 }
@@ -100,11 +119,21 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
   // fix this round's liveness mask — serially, so the parallel phases read
   // an immutable snapshot and battery evolution is thread-count-free.
   bool any_down = false;
+  const bool crash_active = config_.faults.crash_faults();
+  const bool link_active = config_.faults.link_faults();
   const std::uint64_t wire_bytes_before = wire_bytes_;
   std::uint64_t phase_start = obs::now_ns();
   if (scenario_ != nullptr) scenario_->begin_round(t);
   for (std::size_t i = 0; i < n; ++i) {
     bool alive = scenario_ == nullptr || scenario_->alive(i);
+    if (alive && crash_active &&
+        fault::node_down(config_.faults, config_.seed, i, t)) {
+      // Crash-restart outage: the node goes down before it can train or
+      // key up its radio — no energy spent, model frozen in place, and
+      // neighbors degrade through the masked aggregation below.
+      alive = false;
+      ++fault_stats_.crash_down_rounds;
+    }
     bool trains =
         alive && scheduler_.should_train(t, i, accountant_.remaining_budget(i));
     if (trains && scenario_ != nullptr &&
@@ -128,7 +157,7 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
       // row, but it neither sends nor receives this round.
       alive = false;
     }
-    if (scenario_ != nullptr) {
+    if (!alive_flags_.empty()) {
       alive_flags_[i] = alive ? 1 : 0;
       if (!alive) any_down = true;
     }
@@ -164,7 +193,73 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
 
   // Phase 3+4 — exchange & aggregate.
   if (config_.sparse_exchange_k == 0) {
-    if (any_down) {
+    if (link_active) {
+      // Lossy dense gossip: every row crosses the wire as a CRC32C frame
+      // and every directed link draws its fate independently, so the
+      // difference form runs unconditionally — per delivered frame,
+      //   x_i^t += W_ij (x̂_j^{t-1/2} - x_i^{t-1/2}),
+      // and a dropped or CRC-rejected frame simply contributes nothing
+      // (its weight mass reverts to self, rows still sum to 1). The
+      // framed payload is a lossless serialization of the encoded row,
+      // so delivered values are read from the once-per-sender decode
+      // (identity codec: the plane row itself) — bit-identical to
+      // decoding the frame, without per-link decode work.
+      phase_start = obs::now_ns();
+      quant::RowCodec& enc = codec_ != nullptr ? *codec_ : *fault_codec_;
+      enc.begin_round(t);
+      const plane::ConstMatrixView current = plane_.current().view();
+      util::parallel_for(0, n, [&](std::size_t j) {
+        link_tally_[j] = LinkTally{};
+        if (any_down && !alive_flags_[j]) return;
+        enc.encode(current.row(j), wire_rows_[j]);
+        if (codec_ != nullptr) codec_->decode(wire_rows_[j], decoded_.row(j));
+        fault::encode_frame(wire_rows_[j], frames_[j]);
+      });
+      obs::note_phase(phase_stats_, obs::Phase::kEncode, phase_start);
+      phase_start = obs::now_ns();
+      util::parallel_for(0, n, [&](std::size_t i) {
+        const auto mine = current.row(i);
+        const auto out = plane_.back().row(i);
+        tensor::copy(mine, out);
+        if (any_down && !alive_flags_[i]) return;
+        LinkTally& tally = link_tally_[i];
+        for (const auto& entry : mixing_.neighbor_weights(i)) {
+          const std::size_t j = entry.neighbor;
+          if (any_down && !alive_flags_[j]) continue;
+          ++tally.attempted;
+          const fault::LinkDraw draw =
+              fault::link_draw(config_.faults, config_.seed, t, j, i);
+          if (draw.drop) {
+            ++tally.dropped;
+            continue;
+          }
+          if (draw.duplicate) ++tally.duplicated;  // absorbed: see below
+          if (draw.corrupt) {
+            // In-flight bit flip on this receiver's copy of the frame.
+            // CRC32C detects every single-bit error, so the check cannot
+            // pass — but the receiver still runs it rather than assume.
+            std::vector<std::uint8_t> tampered(frames_[j]);
+            fault::flip_bit(tampered,
+                            fault::corrupt_bit_index(config_.seed, t, j, i,
+                                                     tampered.size()));
+            if (!fault::verify_frame(tampered)) {
+              ++tally.corrupt;
+              continue;
+            }
+          }
+          // Duplicates deliver the identical round-t frame twice; the
+          // receiver aggregates each (sender, round) image once, so the
+          // second copy changes nothing and is only counted.
+          const auto theirs =
+              codec_ != nullptr ? decoded_.row(j) : current.row(j);
+          const float w = entry.weight;
+          for (std::size_t k = 0; k < out.size(); ++k) {
+            out[k] += w * (theirs[k] - mine[k]);
+          }
+        }
+      });
+      plane_.flip();
+    } else if (any_down) {
       // Churn-masked dense aggregation in difference form:
       //   x_i^t = x_i^{t-1/2} + Σ_{alive j ∈ N(i)} W_ij (x_j^{t-1/2} - x_i^{t-1/2})
       // A dead neighbor's weight mass reverts to x_i (lazy self-loop
@@ -253,38 +348,103 @@ RoundEngine::RoundOutcome RoundEngine::run_round() {
     plane::gather_masked_rows(plane_.current().view(), round_mask_,
                               staged_.view());
     obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
-    if (codec_ != nullptr) {
-      // Sparse+quant composition: the k masked values are what crosses
-      // the wire, so they are what gets encoded. Receivers read the
-      // decoded image of a neighbor's staged values but keep their OWN
-      // values exact (a node never quantizes against itself).
+    if (link_active) {
+      // Lossy sparse gossip: the k staged values are framed per sender,
+      // then each directed link draws drop/corrupt/dup exactly as in the
+      // dense path; the staged difference form already skips absent
+      // contributions, so a lost frame needs no special handling.
       phase_start = obs::now_ns();
-      codec_->begin_round(t);
-      util::parallel_for(0, n, [&](std::size_t i) {
-        if (any_down && !alive_flags_[i]) return;
-        codec_->encode(staged_.row(i), wire_rows_[i]);
-        codec_->decode(wire_rows_[i], staged_decoded_.row(i));
+      quant::RowCodec& enc = codec_ != nullptr ? *codec_ : *fault_codec_;
+      enc.begin_round(t);
+      util::parallel_for(0, n, [&](std::size_t j) {
+        link_tally_[j] = LinkTally{};
+        if (any_down && !alive_flags_[j]) return;
+        enc.encode(staged_.row(j), wire_rows_[j]);
+        if (codec_ != nullptr) {
+          codec_->decode(wire_rows_[j], staged_decoded_.row(j));
+        }
+        fault::encode_frame(wire_rows_[j], frames_[j]);
       });
       obs::note_phase(phase_stats_, obs::Phase::kEncode, phase_start);
-    }
-    phase_start = obs::now_ns();
-    const plane::RowArena& theirs_pool =
-        codec_ != nullptr ? staged_decoded_ : staged_;
-    util::parallel_for(0, n, [&](std::size_t i) {
-      // Churn mask: a down node neither sends nor receives, and dead
-      // neighbors drop out of the sum — the difference form keeps the
-      // row normalized (skipped mass stays on x_i) with no extra work.
-      if (any_down && !alive_flags_[i]) return;
-      const auto row = plane_.current().row(i);
-      const auto mine_staged = staged_.row(i);
-      for (const auto& entry : mixing_.neighbor_weights(i)) {
-        if (any_down && !alive_flags_[entry.neighbor]) continue;
-        core::accumulate_staged_difference(round_mask_,
-                                           theirs_pool.row(entry.neighbor),
-                                           mine_staged, row, entry.weight);
+      phase_start = obs::now_ns();
+      const plane::RowArena& theirs_pool =
+          codec_ != nullptr ? staged_decoded_ : staged_;
+      util::parallel_for(0, n, [&](std::size_t i) {
+        if (any_down && !alive_flags_[i]) return;
+        const auto row = plane_.current().row(i);
+        const auto mine_staged = staged_.row(i);
+        LinkTally& tally = link_tally_[i];
+        for (const auto& entry : mixing_.neighbor_weights(i)) {
+          const std::size_t j = entry.neighbor;
+          if (any_down && !alive_flags_[j]) continue;
+          ++tally.attempted;
+          const fault::LinkDraw draw =
+              fault::link_draw(config_.faults, config_.seed, t, j, i);
+          if (draw.drop) {
+            ++tally.dropped;
+            continue;
+          }
+          if (draw.duplicate) ++tally.duplicated;
+          if (draw.corrupt) {
+            std::vector<std::uint8_t> tampered(frames_[j]);
+            fault::flip_bit(tampered,
+                            fault::corrupt_bit_index(config_.seed, t, j, i,
+                                                     tampered.size()));
+            if (!fault::verify_frame(tampered)) {
+              ++tally.corrupt;
+              continue;
+            }
+          }
+          core::accumulate_staged_difference(round_mask_, theirs_pool.row(j),
+                                             mine_staged, row, entry.weight);
+        }
+      });
+      obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
+    } else {
+      if (codec_ != nullptr) {
+        // Sparse+quant composition: the k masked values are what crosses
+        // the wire, so they are what gets encoded. Receivers read the
+        // decoded image of a neighbor's staged values but keep their OWN
+        // values exact (a node never quantizes against itself).
+        phase_start = obs::now_ns();
+        codec_->begin_round(t);
+        util::parallel_for(0, n, [&](std::size_t i) {
+          if (any_down && !alive_flags_[i]) return;
+          codec_->encode(staged_.row(i), wire_rows_[i]);
+          codec_->decode(wire_rows_[i], staged_decoded_.row(i));
+        });
+        obs::note_phase(phase_stats_, obs::Phase::kEncode, phase_start);
       }
-    });
-    obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
+      phase_start = obs::now_ns();
+      const plane::RowArena& theirs_pool =
+          codec_ != nullptr ? staged_decoded_ : staged_;
+      util::parallel_for(0, n, [&](std::size_t i) {
+        // Churn mask: a down node neither sends nor receives, and dead
+        // neighbors drop out of the sum — the difference form keeps the
+        // row normalized (skipped mass stays on x_i) with no extra work.
+        if (any_down && !alive_flags_[i]) return;
+        const auto row = plane_.current().row(i);
+        const auto mine_staged = staged_.row(i);
+        for (const auto& entry : mixing_.neighbor_weights(i)) {
+          if (any_down && !alive_flags_[entry.neighbor]) continue;
+          core::accumulate_staged_difference(round_mask_,
+                                             theirs_pool.row(entry.neighbor),
+                                             mine_staged, row, entry.weight);
+        }
+      });
+      obs::note_phase(phase_stats_, obs::Phase::kGossip, phase_start);
+    }
+  }
+
+  if (link_active) {
+    // Per-receiver tallies were written disjointly in parallel; fold them
+    // into the lifetime stats serially so the totals are order-free.
+    for (const LinkTally& tally : link_tally_) {
+      fault_stats_.attempted_deliveries += tally.attempted;
+      fault_stats_.dropped += tally.dropped;
+      fault_stats_.corrupt += tally.corrupt;
+      fault_stats_.duplicated += tally.duplicated;
+    }
   }
 
   double loss_sum = 0.0;
@@ -317,6 +477,11 @@ detail::EngineIdentity RoundEngine::identity() const {
   if (config_.topology_hash != 0) {
     aux = util::hash_combine(aux, config_.topology_hash);
   }
+  if (config_.faults.enabled) {
+    // Same reasoning as the scenario: resuming under a different fault
+    // plan would silently change which messages get lost.
+    aux = util::hash_combine(aux, config_.faults.config_hash());
+  }
   return detail::EngineIdentity{nodes_.size(),
                                 plane_.dim(),
                                 config_.seed,
@@ -343,6 +508,17 @@ void RoundEngine::save_state(ckpt::ImageWriter& writer) const {
   // unchanged; the aux_bits identity check above guarantees a reader only
   // expects this section when the writer produced it.
   if (scenario_ != nullptr) scenario_->save_state(writer);
+  // Fault tallies are simulation state (they feed the summary CSV), so a
+  // resumed run must carry them forward; the draws themselves are
+  // stateless and need nothing here. Gated on the plan (which is part of
+  // the aux_bits identity), so fault-free images are unchanged.
+  if (config_.faults.enabled) {
+    writer.u64(fault_stats_.attempted_deliveries);
+    writer.u64(fault_stats_.dropped);
+    writer.u64(fault_stats_.corrupt);
+    writer.u64(fault_stats_.duplicated);
+    writer.u64(fault_stats_.crash_down_rounds);
+  }
 }
 
 void RoundEngine::restore_state(ckpt::ImageReader& reader) {
@@ -353,6 +529,13 @@ void RoundEngine::restore_state(ckpt::ImageReader& reader) {
   reader.f32_blob(plane_.current().view().flat());
   for (auto& node : nodes_) detail::read_node_state(reader, *node);
   if (scenario_ != nullptr) scenario_->restore_state(reader);
+  if (config_.faults.enabled) {
+    fault_stats_.attempted_deliveries = reader.u64();
+    fault_stats_.dropped = reader.u64();
+    fault_stats_.corrupt = reader.u64();
+    fault_stats_.duplicated = reader.u64();
+    fault_stats_.crash_down_rounds = reader.u64();
+  }
   round_ = static_cast<std::size_t>(round);
 }
 

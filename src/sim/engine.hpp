@@ -34,6 +34,7 @@
 #include "core/scheduler.hpp"
 #include "data/dataset.hpp"
 #include "energy/accountant.hpp"
+#include "fault/fault.hpp"
 #include "graph/mixing.hpp"
 #include "graph/sparse.hpp"
 #include "nn/sequential.hpp"
@@ -90,6 +91,15 @@ struct EngineConfig {
   /// of the aggregation until recharge. Rounds where every node is up
   /// still run the blocked fast-path kernels bit-identically.
   scenario::ScenarioConfig scenario{};
+
+  /// Deterministic fault plan (fault/fault.hpp). Disabled (the default)
+  /// keeps every pre-fault code path — and its bytes — untouched. With
+  /// link faults, every exchanged row ships as a CRC32C-framed wire
+  /// payload; drops and CRC-rejected corruptions degrade through the
+  /// masked-aggregation difference form (lost neighbor mass reverts to
+  /// self). With crash faults, seed-derived crash-restart outages mark
+  /// nodes down exactly like scenario churn.
+  fault::FaultPlan faults{};
 };
 
 class RoundEngine {
@@ -136,6 +146,12 @@ class RoundEngine {
 
   /// Battery/churn state when a scenario is enabled; nullptr otherwise.
   const scenario::FleetScenario* scenario() const { return scenario_.get(); }
+
+  /// Lifetime fault telemetry (all zero without a fault plan). Unlike
+  /// phase_stats_, these ARE simulation state: delivery counts feed the
+  /// summary CSV, so they are checkpointed and restored to keep resumed
+  /// runs byte-identical.
+  const fault::FaultStats& fault_stats() const { return fault_stats_; }
 
   /// Per-phase wall time accumulated by run_round (observational only —
   /// never serialized, never fed back into simulation decisions). Phases
@@ -198,10 +214,28 @@ class RoundEngine {
 
   // Scenario state (nullptr when config_.scenario is disabled).
   // alive_flags_[i] is node i's liveness THIS round, fixed serially in
-  // phase 1 (including mid-round brownouts) so the parallel phases read
-  // an immutable mask.
+  // phase 1 (including mid-round brownouts and fault-plan crash outages)
+  // so the parallel phases read an immutable mask. Allocated when either
+  // a scenario or a crash-fault schedule can take nodes down.
   std::unique_ptr<scenario::FleetScenario> scenario_;
   std::vector<char> alive_flags_;
+
+  // Fault-plan wire staging (allocated only when link faults are active):
+  // frames_[j] is sender j's CRC32C-framed payload this round;
+  // fault_codec_ supplies the identity RowCodec when no exchange codec is
+  // configured (framing needs a QuantizedRow either way). link_tally_ is
+  // per-RECEIVER (disjoint parallel writes), folded into fault_stats_
+  // serially at the end of each round.
+  std::unique_ptr<quant::RowCodec> fault_codec_;
+  std::vector<std::vector<std::uint8_t>> frames_;
+  struct LinkTally {
+    std::uint64_t attempted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t corrupt = 0;
+    std::uint64_t duplicated = 0;
+  };
+  std::vector<LinkTally> link_tally_;
+  fault::FaultStats fault_stats_;
 
   // Telemetry (observational only; excluded from save_state/restore_state
   // so checkpoint images stay byte-identical with telemetry on or off).

@@ -1,5 +1,6 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -8,7 +9,9 @@
 #include <vector>
 
 #include "ckpt/fleet_image.hpp"
+#include "ckpt/io.hpp"
 #include "energy/fleet.hpp"
+#include "fault/fault.hpp"
 #include "graph/sparse.hpp"
 #include "graph/topology.hpp"
 #include "metrics/consensus.hpp"
@@ -165,6 +168,14 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   engine_config.exchange_codec = options.exchange_codec;
   engine_config.scenario = scenario_config;
   engine_config.topology_hash = topology_hash;
+  const fault::FaultPlan fault_plan = fault::make_plan(options.faults);
+  engine_config.faults = fault_plan;
+  // IO chaos applies to THIS run's checkpoint writes: atomic_write draws
+  // per-attempt failures from (seed, path, attempt) and retries with
+  // deterministic virtual-time backoff.
+  const ckpt::IoFaultPolicy io_policy{fault_plan, options.seed};
+  const ckpt::IoFaultPolicy* io_faults =
+      fault_plan.io_faults() ? &io_policy : nullptr;
   // The engine lives in an optional so an aborted checkpoint restore can
   // rebuild it from scratch (restore mutates state section by section; a
   // file corrupted past the header could otherwise leave a half-restored
@@ -196,37 +207,47 @@ ExperimentResult run_experiment(const data::FederatedData& data,
   //   * corrupt / truncated / version-mismatched image: the exception is
   //     swallowed and the engine rebuilt, so one bad file cannot poison
   //     the trial with a permanent failure row.
+  // Generations are tried newest first (checkpoint_path, .g1, .g2, ...);
+  // a corrupt or torn image costs at most checkpoint_every rounds — the
+  // next older generation resumes the run instead of a full restart.
   std::size_t start_round = 0;
-  if (options.resume && !options.checkpoint_path.empty() &&
-      std::filesystem::exists(options.checkpoint_path)) {
+  const std::size_t keep_generations =
+      std::max<std::size_t>(options.keep_generations, 1);
+  if (options.resume && !options.checkpoint_path.empty()) {
     obs::PhaseScope restore_scope(result.telemetry.phases,
                                   obs::Phase::kCheckpoint);
-    try {
-      const ckpt::FleetImageInfo info =
-          ckpt::probe_fleet_image(options.checkpoint_path);
-      ckpt::ExperimentState state;
-      // Strict <: an image AT the horizon would skip the main loop and
-      // its final-round evaluation entirely (empty per-node accuracies).
-      // Normal crash images always sit below the horizon anyway — the
-      // writer never checkpoints the final round.
-      if (info.round < options.total_rounds &&
-          ckpt::restore_experiment_image(*engine_slot, state,
-                                         options.checkpoint_path,
-                                         options.checkpoint_fingerprint)) {
-        start_round = engine_slot->rounds_executed();
-        restored_records = std::move(state.records);
-        result.coordinated_training_rounds =
-            static_cast<std::size_t>(state.coordinated_training_rounds);
+    for (const std::string& candidate :
+         ckpt::generation_paths(options.checkpoint_path, keep_generations)) {
+      if (!std::filesystem::exists(candidate)) continue;
+      try {
+        const ckpt::FleetImageInfo info = ckpt::probe_fleet_image(candidate);
+        ckpt::ExperimentState state;
+        // Strict <: an image AT the horizon would skip the main loop and
+        // its final-round evaluation entirely (empty per-node accuracies).
+        // Normal crash images always sit below the horizon anyway — the
+        // writer never checkpoints the final round.
+        if (info.round < options.total_rounds &&
+            ckpt::restore_experiment_image(*engine_slot, state, candidate,
+                                           options.checkpoint_fingerprint)) {
+          start_round = engine_slot->rounds_executed();
+          restored_records = std::move(state.records);
+          result.coordinated_training_rounds =
+              static_cast<std::size_t>(state.coordinated_training_rounds);
+        }
+        // Either resumed, or the image is stale (edited configuration) /
+        // past the horizon — older generations share its configuration,
+        // so a fresh start beats walking further back.
+        break;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "run_experiment: ignoring unusable checkpoint %s (%s); "
+                     "trying previous generation\n",
+                     candidate.c_str(), e.what());
+        start_round = 0;
+        restored_records.clear();
+        result.coordinated_training_rounds = 0;
+        build_engine();
       }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr,
-                   "run_experiment: ignoring unusable checkpoint %s (%s); "
-                   "starting fresh\n",
-                   options.checkpoint_path.c_str(), e.what());
-      start_round = 0;
-      restored_records.clear();
-      result.coordinated_training_rounds = 0;
-      build_engine();
     }
   }
   RoundEngine& engine = *engine_slot;
@@ -303,7 +324,11 @@ ExperimentResult run_experiment(const data::FederatedData& data,
           result.recorder.records(),
           static_cast<std::uint64_t>(result.coordinated_training_rounds),
           options.checkpoint_fingerprint};
-      ckpt::save_experiment_image(engine, state, options.checkpoint_path);
+      // Vacate the newest slot first (path -> .g1 -> .g2 ...) so a torn
+      // write can only cost the image being written, never an older one.
+      ckpt::rotate_generations(options.checkpoint_path, keep_generations);
+      ckpt::save_experiment_image(engine, state, options.checkpoint_path,
+                                  io_faults);
     }
   }
 
@@ -318,6 +343,19 @@ ExperimentResult run_experiment(const data::FederatedData& data,
     result.mean_availability = scn->mean_availability();
     result.down_node_rounds = scn->down_steps_total();
     result.harvested_wh = scn->harvested_mwh_total() / 1000.0;
+  }
+  {
+    const fault::FaultStats& fs = engine.fault_stats();
+    result.dropped_messages = static_cast<std::size_t>(fs.dropped);
+    result.corrupt_messages = static_cast<std::size_t>(fs.corrupt);
+    result.duplicated_messages = static_cast<std::size_t>(fs.duplicated);
+    result.crash_down_rounds = static_cast<std::size_t>(fs.crash_down_rounds);
+    if (fs.attempted_deliveries != 0) {
+      result.delivery_rate =
+          static_cast<double>(fs.attempted_deliveries - fs.dropped -
+                              fs.corrupt) /
+          static_cast<double>(fs.attempted_deliveries);
+    }
   }
   result.final_per_node_accuracy = std::move(last_per_node);
   // Fold the engine's per-round phase times into the trial's telemetry.

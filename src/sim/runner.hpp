@@ -71,6 +71,15 @@ struct RunOptions {
   // process; nodes brown out, freeze, and re-enter as charge allows.
   std::string scenario{};
 
+  // Deterministic fault plan (fault::make_plan): "" | "none" keeps every
+  // path lossless and bitwise identical to a fault-free build;
+  // "drop:P,corrupt:P,dup:P,crash:P,io:P,..." injects seed-derived
+  // per-link message loss/corruption/duplication, node crash-restarts,
+  // and checkpoint-write failures. All draws are stateless functions of
+  // (seed, round, src, dst), so faulted runs stay bit-identical across
+  // thread counts and through kill/resume.
+  std::string faults{};
+
   // Scales the canonical τ_i budgets (Table 2). Scaled-horizon experiments
   // should set this to total_rounds / paper_total_rounds so that budgets
   // bind at the same proportion of the run as in the paper.
@@ -94,6 +103,11 @@ struct RunOptions {
   std::string checkpoint_path{};
   std::size_t checkpoint_every = 0;
   bool resume = false;
+  // Multi-generation image retention: keep the N most recent images
+  // (checkpoint_path, .g1, .g2, ...). A resume falls back to the newest
+  // generation that validates, so one corrupt/torn image costs at most
+  // checkpoint_every rounds of recomputation. 0/1 = single image.
+  std::size_t keep_generations = 1;
   // Opaque identity of THIS run's full configuration, stored in every
   // image and validated on resume: a stale image written under a
   // different configuration (e.g. an edited sweep grid) is ignored and
@@ -129,6 +143,17 @@ struct ExperimentResult {
   double mean_availability = 1.0;
   std::size_t down_node_rounds = 0;
   double harvested_wh = 0.0;
+
+  /// Fault telemetry (all zero / 1.0 when no fault plan is active):
+  /// messages lost outright, frames rejected by the receiver's CRC
+  /// check, duplicated deliveries absorbed idempotently, node-rounds
+  /// spent in crash outages, and the fraction of attempted deliveries
+  /// that arrived intact.
+  std::size_t dropped_messages = 0;
+  std::size_t corrupt_messages = 0;
+  std::size_t duplicated_messages = 0;
+  std::size_t crash_down_rounds = 0;
+  double delivery_rate = 1.0;
 
   /// Final per-node test accuracies (index = node id); feeds the §5.1
   /// device-fairness analysis.

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
 #include "graph/sparse.hpp"
 #include "quant/codec.hpp"
 #include "scenario/scenario.hpp"
@@ -106,6 +107,23 @@ std::vector<T> parse_uint_list(const std::string& text,
     values.push_back(static_cast<T>(parse_uint(token, key)));
   }
   return values;
+}
+
+/// Fault-plan specs are comma-structured themselves (drop:P,corrupt:P),
+/// so the faults axis separates its values with ';' instead of ','.
+std::vector<std::string> split_semicolon_list(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t sep = text.find(';', start);
+    const std::string raw =
+        trim(sep == std::string::npos ? text.substr(start)
+                                      : text.substr(start, sep - start));
+    if (!raw.empty()) tokens.push_back(raw);
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return tokens;
 }
 
 std::vector<std::string> dataset_axis(const std::string& value) {
@@ -338,10 +356,33 @@ SweepGrid make_preset(const std::string& name, const PresetParams& params) {
     if (full) grid.finalize = apply_paper_horizon;
     return grid;
   }
+  if (name == "chaotic_fleet") {
+    // Robustness stress case: the churn fleet with the full fault menu on
+    // top — lossy links, CRC-rejected corruption, duplicate deliveries,
+    // crash-restarts, and checkpoint-write failures — against the same
+    // configuration with faults off. The chaos is seed-derived, so every
+    // trial stays bit-identical across thread counts and kill/resume.
+    SweepGrid grid = preset_base(params, /*nodes=*/32, /*rounds=*/96);
+    grid.name = "chaotic_fleet";
+    grid.datasets =
+        dataset_axis(params.dataset.empty() ? "cifar" : params.dataset);
+    grid.algorithms = {sim::Algorithm::kSkipTrain,
+                       sim::Algorithm::kSkipTrainConstrained};
+    grid.degrees = {6};
+    grid.gamma_trains = {4};
+    grid.gamma_syncs = {4};
+    grid.scenarios = {"churn"};
+    grid.faults = {"none",
+                   "drop:0.05,corrupt:0.01,dup:0.02,crash:0.004,io:0.1"};
+    grid.keep_generations = 3;
+    grid.base.eval_every = eval_every != 0 ? eval_every : 24;
+    if (full) grid.finalize = apply_paper_horizon;
+    return grid;
+  }
   throw std::invalid_argument(
       "make_preset: unknown preset '" + name +
       "' (known: fig3 fig5 fig6 table3 quant smartphone solar_sensor_fleet "
-      "churning_phone_fleet large_fleet)");
+      "churning_phone_fleet chaotic_fleet large_fleet)");
 }
 
 const std::vector<std::string>& preset_names() {
@@ -349,7 +390,7 @@ const std::vector<std::string>& preset_names() {
       "fig3",  "fig5",       "fig6",
       "table3", "quant",      "smartphone",
       "solar_sensor_fleet",   "churning_phone_fleet",
-      "large_fleet"};
+      "chaotic_fleet",        "large_fleet"};
   return kNames;
 }
 
@@ -433,6 +474,16 @@ SweepGrid grid_from_kv(
         (void)graph::TopologySpec::parse(token);  // validates the token
         grid.topologies.push_back(token);
       }
+    } else if (key == "fault" || key == "faults") {
+      // ';'-separated axis: faults = none;drop:0.05,corrupt:0.01
+      grid.faults.clear();
+      for (const std::string& token : split_semicolon_list(value)) {
+        fault::make_plan(token).validate();  // validates the spec
+        grid.faults.push_back(token);
+      }
+    } else if (key == "keep-generations" || key == "keep_generations") {
+      grid.keep_generations =
+          static_cast<std::size_t>(parse_uint(value, key));
     } else if (key == "rounds") {
       grid.base.total_rounds =
           static_cast<std::size_t>(parse_uint(value, key));

@@ -44,6 +44,7 @@ std::size_t SweepGrid::trial_count() const {
   mul(codecs.size());
   mul(scenarios.size());
   mul(topologies.size());
+  mul(faults.size());
   return count;
 }
 
@@ -59,6 +60,7 @@ std::vector<TrialSpec> SweepGrid::expand() const {
   const auto codec_axis = axis_or(codecs, base.exchange_codec);
   const auto scenario_axis = axis_or(scenarios, base.scenario);
   const auto topology_axis = axis_or(topologies, base.topology);
+  const auto fault_axis = axis_or(faults, base.faults);
 
   std::vector<TrialSpec> trials;
   trials.reserve(trial_count());
@@ -74,32 +76,36 @@ std::vector<TrialSpec> SweepGrid::expand() const {
                   for (const quant::Codec codec : codec_axis) {
                     for (const std::string& scenario : scenario_axis) {
                       for (const std::string& topology : topology_axis) {
-                        TrialSpec spec;
-                        spec.index = trials.size();
-                        spec.data = data;
-                        spec.data.dataset = dataset;
-                        spec.data.nodes = nodes;
-                        spec.data.seed = seed;
-                        spec.options = base;
-                        spec.options.workload = workload;
-                        spec.options.seed = seed;
-                        spec.options.algorithm = algorithm;
-                        spec.options.degree = degree;
-                        spec.options.gamma_sync = gamma_sync;
-                        spec.options.gamma_train = gamma_train;
-                        spec.options.sparse_exchange_k = sparse_k;
-                        spec.options.exchange_codec = codec;
-                        spec.options.scenario = scenario;
-                        spec.options.topology = topology;
-                        if (finalize) finalize(spec);
-                        if (scale_budgets_to_paper) {
-                          spec.options.budget_scale =
-                              static_cast<double>(spec.options.total_rounds) /
-                              static_cast<double>(energy::workload_spec(
-                                                      workload)
-                                                      .total_rounds);
+                        for (const std::string& fault_spec : fault_axis) {
+                          TrialSpec spec;
+                          spec.index = trials.size();
+                          spec.data = data;
+                          spec.data.dataset = dataset;
+                          spec.data.nodes = nodes;
+                          spec.data.seed = seed;
+                          spec.options = base;
+                          spec.options.workload = workload;
+                          spec.options.seed = seed;
+                          spec.options.algorithm = algorithm;
+                          spec.options.degree = degree;
+                          spec.options.gamma_sync = gamma_sync;
+                          spec.options.gamma_train = gamma_train;
+                          spec.options.sparse_exchange_k = sparse_k;
+                          spec.options.exchange_codec = codec;
+                          spec.options.scenario = scenario;
+                          spec.options.topology = topology;
+                          spec.options.faults = fault_spec;
+                          if (finalize) finalize(spec);
+                          if (scale_budgets_to_paper) {
+                            spec.options.budget_scale =
+                                static_cast<double>(
+                                    spec.options.total_rounds) /
+                                static_cast<double>(energy::workload_spec(
+                                                        workload)
+                                                        .total_rounds);
+                          }
+                          trials.push_back(std::move(spec));
                         }
-                        trials.push_back(std::move(spec));
                       }
                     }
                   }

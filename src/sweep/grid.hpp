@@ -15,8 +15,8 @@
 //
 // Expansion nests, outer to inner: datasets, node_counts, seeds,
 // algorithms, degrees, gamma_syncs, gamma_trains, sparse_ks, codecs,
-// scenarios, topologies. The trial index is the row order of every
-// downstream CSV, independent of which worker finishes first.
+// scenarios, topologies, faults. The trial index is the row order of
+// every downstream CSV, independent of which worker finishes first.
 #pragma once
 
 #include <cstdint>
@@ -79,6 +79,9 @@ struct SweepGrid {
   // Gossip-graph representations (graph::TopologySpec tokens: "dense",
   // "kregular:<k>", "csr:<path>").
   std::vector<std::string> topologies;
+  // Fault-plan specs (fault::make_plan tokens: "none",
+  // "drop:0.05,corrupt:0.01,crash:0.004", ...).
+  std::vector<std::string> faults;
 
   /// When set, each trial's budget_scale becomes total_rounds divided by
   /// the workload's paper horizon, so per-device budgets bind at the same
@@ -92,6 +95,9 @@ struct SweepGrid {
   std::string checkpoint_dir{};
   std::size_t checkpoint_every = 0;
   bool resume = false;
+  /// Per-trial fleet-image generations to retain (`keep-generations` key);
+  /// a resume falls back to the newest generation that validates.
+  std::size_t keep_generations = 1;
 
   /// Applied to each expanded trial (before budget scaling, so it may
   /// adjust total_rounds); lets callers couple axes that a cross product

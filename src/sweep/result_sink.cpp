@@ -1,5 +1,6 @@
 #include "sweep/result_sink.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "graph/sparse.hpp"
@@ -58,8 +59,10 @@ std::vector<TrialResult> ResultSink::take_rows() {
 }
 
 const std::vector<std::string>& ResultSink::csv_header(
-    bool include_codec, bool include_scenario, bool include_topology) {
-  static const auto make = [](bool codec, bool scenario, bool topology) {
+    bool include_codec, bool include_scenario, bool include_topology,
+    bool include_faults) {
+  static const auto make = [](bool codec, bool scenario, bool topology,
+                              bool faults) {
     std::vector<std::string> header = {
         "trial",        "dataset",     "nodes",        "algorithm",
         "degree",       "gamma_train", "gamma_sync",   "sparse_k",
@@ -67,35 +70,48 @@ const std::vector<std::string>& ResultSink::csv_header(
         "std_accuracy", "best_accuracy", "train_energy_wh",
         "comm_energy_wh", "fleet_budget_wh", "training_rounds",
         "final_consensus", "error"};
-    if (scenario) {
-      // Availability precedes consensus; the insert order below puts the
-      // spec-side columns as ..., sparse_k, topology, [codec], scenario,
-      // seed, ... (topology inserted last so it lands right after
-      // sparse_k).
-      header.insert(header.begin() + 18, "availability");
-      header.insert(header.begin() + 8, "scenario");
-    }
-    if (codec) header.insert(header.begin() + 8, "codec");  // after sparse_k
+    // Value columns slot in just before final_consensus, anchored by name
+    // so the optional columns can never collide on a fixed index; the
+    // resulting order is training_rounds, [availability], [delivery_rate].
+    const auto value_insert = [&header](const char* name) {
+      header.insert(std::find(header.begin(), header.end(),
+                              std::string("final_consensus")),
+                    name);
+    };
+    if (scenario) value_insert("availability");
+    if (faults) value_insert("delivery_rate");
+    // Spec-side inserts all land at index 8 (right after sparse_k) and run
+    // innermost-axis-first, so the columns come out ..., sparse_k,
+    // topology, [codec], scenario, faults, seed, ...
+    if (faults) header.insert(header.begin() + 8, "faults");
+    if (scenario) header.insert(header.begin() + 8, "scenario");
+    if (codec) header.insert(header.begin() + 8, "codec");
     if (topology) header.insert(header.begin() + 8, "topology");
     return header;
   };
-  static const std::vector<std::string> kCombos[2][2][2] = {
-      {{make(false, false, false), make(false, false, true)},
-       {make(false, true, false), make(false, true, true)}},
-      {{make(true, false, false), make(true, false, true)},
-       {make(true, true, false), make(true, true, true)}}};
+  static const std::vector<std::string> kCombos[2][2][2][2] = {
+      {{{make(false, false, false, false), make(false, false, false, true)},
+        {make(false, false, true, false), make(false, false, true, true)}},
+       {{make(false, true, false, false), make(false, true, false, true)},
+        {make(false, true, true, false), make(false, true, true, true)}}},
+      {{{make(true, false, false, false), make(true, false, false, true)},
+        {make(true, false, true, false), make(true, false, true, true)}},
+       {{make(true, true, false, false), make(true, true, false, true)},
+        {make(true, true, true, false), make(true, true, true, true)}}}};
   return kCombos[include_codec ? 1 : 0][include_scenario ? 1 : 0]
-                [include_topology ? 1 : 0];
+                [include_topology ? 1 : 0][include_faults ? 1 : 0];
 }
 
 std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
                                              bool include_codec,
                                              bool include_scenario,
-                                             bool include_topology) {
+                                             bool include_topology,
+                                             bool include_faults) {
   const TrialSpec& spec = row.spec;
   std::vector<std::string> cells;
-  cells.reserve(
-      csv_header(include_codec, include_scenario, include_topology).size());
+  cells.reserve(csv_header(include_codec, include_scenario, include_topology,
+                           include_faults)
+                    .size());
   cells.push_back(std::to_string(spec.index));
   cells.push_back(spec.data.dataset);
   cells.push_back(std::to_string(spec.data.nodes));
@@ -113,6 +129,9 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
   if (include_scenario) {
     cells.push_back(scenario::scenario_token(spec.options.scenario));
   }
+  if (include_faults) {
+    cells.push_back(spec.options.faults.empty() ? "none" : spec.options.faults);
+  }
   cells.push_back(std::to_string(spec.options.seed));
   cells.push_back(std::to_string(spec.options.total_rounds));
   cells.push_back(row.ok() ? "ok" : "failed");
@@ -127,6 +146,9 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
     if (include_scenario) {
       cells.push_back(util::format_double(row.result.mean_availability));
     }
+    if (include_faults) {
+      cells.push_back(util::format_double(row.result.delivery_rate));
+    }
     // Populated only when the grid tracks consensus.
     cells.push_back(row.spec.options.track_consensus &&
                             !row.result.recorder.empty()
@@ -135,7 +157,8 @@ std::vector<std::string> ResultSink::csv_row(const TrialResult& row,
                         : "");
     cells.push_back("");
   } else {
-    const int value_columns = include_scenario ? 9 : 8;
+    const int value_columns =
+        8 + (include_scenario ? 1 : 0) + (include_faults ? 1 : 0);
     for (int i = 0; i < value_columns; ++i) cells.push_back("");
     cells.push_back(row.error);
   }
@@ -150,6 +173,7 @@ void write_summary_csv(const std::string& path,
   bool include_codec = false;
   bool include_scenario = false;
   bool include_topology = false;
+  bool include_faults = false;
   for (const TrialResult& row : rows) {
     if (row.spec.options.exchange_codec != quant::Codec::kIdentity) {
       include_codec = true;
@@ -160,13 +184,18 @@ void write_summary_csv(const std::string& path,
     if (graph::topology_token(row.spec.options.topology) != "dense") {
       include_topology = true;
     }
+    if (!row.spec.options.faults.empty() &&
+        row.spec.options.faults != "none") {
+      include_faults = true;
+    }
   }
-  util::CsvWriter csv(path, ResultSink::csv_header(include_codec,
-                                                   include_scenario,
-                                                   include_topology));
+  util::CsvWriter csv(path,
+                      ResultSink::csv_header(include_codec, include_scenario,
+                                             include_topology,
+                                             include_faults));
   for (const TrialResult& row : rows) {
     csv.write_row(ResultSink::csv_row(row, include_codec, include_scenario,
-                                      include_topology));
+                                      include_topology, include_faults));
   }
 }
 

@@ -44,19 +44,22 @@ class ResultSink {
 
   /// Summary-CSV schema shared by the sink and SweepReport. Deliberately
   /// excludes wall-clock so the bytes are reproducible run-to-run. The
-  /// codec, scenario, and topology columns exist only when requested:
-  /// write_summary_csv includes each iff some row uses a non-identity
-  /// codec / a non-"none" scenario / a non-dense topology, so grids that
-  /// never touch those axes keep their pre-existing bytes exactly. The
-  /// scenario flag also adds an availability column (fraction of
-  /// node-rounds the fleet was up).
+  /// codec, scenario, topology, and faults columns exist only when
+  /// requested: write_summary_csv includes each iff some row uses a
+  /// non-identity codec / a non-"none" scenario / a non-dense topology /
+  /// a non-"none" fault plan, so grids that never touch those axes keep
+  /// their pre-existing bytes exactly. The scenario flag also adds an
+  /// availability column (fraction of node-rounds the fleet was up); the
+  /// faults flag also adds a delivery_rate column (fraction of attempted
+  /// deliveries that arrived intact).
   static const std::vector<std::string>& csv_header(
       bool include_codec = false, bool include_scenario = false,
-      bool include_topology = false);
+      bool include_topology = false, bool include_faults = false);
   static std::vector<std::string> csv_row(const TrialResult& row,
                                           bool include_codec = false,
                                           bool include_scenario = false,
-                                          bool include_topology = false);
+                                          bool include_topology = false,
+                                          bool include_faults = false);
 
  private:
   mutable std::mutex mutex_;

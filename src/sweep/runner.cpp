@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "ckpt/fleet_image.hpp"
 #include "ckpt/trial_store.hpp"
 #include "obs/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -52,8 +53,9 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
     // failure is retried instead, so transient errors (memory pressure,
     // I/O hiccups) self-heal on resume while deterministic failures just
     // reproduce the same failed row.
-    if (ckpt::load_trial_result(spec, base + ".result", stored) &&
-        stored.ok()) {
+    const ckpt::TrialLoadStatus status =
+        ckpt::load_trial_result_status(spec, base + ".result", stored);
+    if (status == ckpt::TrialLoadStatus::kLoaded && stored.ok()) {
       trial = std::move(stored);
       resumed = true;
       trial.wall_seconds = watch.seconds();
@@ -64,6 +66,19 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
                      (base + ".result").c_str());
       }
       return trial;
+    }
+    if (status == ckpt::TrialLoadStatus::kCorrupt) {
+      // Quarantine, don't abort: keep the damaged entry for post-mortems
+      // under `<path>.bad` (clobbering any previous quarantine) and
+      // recompute the trial. A bit-flipped or torn store file must never
+      // kill a 10,000-trial resume.
+      std::error_code ec;
+      std::filesystem::rename(base + ".result", base + ".result.bad", ec);
+      std::fprintf(stderr,
+                   "[sweep] trial %zu: corrupt result %s quarantined to "
+                   "%s.bad; recomputing\n",
+                   spec.index, (base + ".result").c_str(),
+                   (base + ".result").c_str());
     }
   }
 
@@ -82,6 +97,7 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
       augmented.options.checkpoint_path = base + ".ckpt";
       augmented.options.checkpoint_every = options_.checkpoint_every;
       augmented.options.resume = options_.resume;
+      augmented.options.keep_generations = options_.keep_generations;
       // Stamped into every image and validated on resume, so an edited
       // grid can never resume a stale in-flight image for this slot.
       augmented.options.checkpoint_fingerprint =
@@ -108,8 +124,8 @@ TrialResult SweepRunner::run_trial(const TrialSpec& spec, bool& resumed) {
     try {
       ckpt::write_trial_result(trial, base + ".result");
       ckpt::append_manifest(options_.checkpoint_dir, spec.index, trial.ok());
-      std::error_code ec;
-      std::filesystem::remove(base + ".ckpt", ec);  // image no longer needed
+      // Images (all retained generations) are no longer needed.
+      ckpt::remove_generations(base + ".ckpt", options_.keep_generations);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[sweep] trial %zu: cannot persist result: %s\n",
                    spec.index, e.what());

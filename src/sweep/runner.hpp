@@ -51,6 +51,11 @@ struct SweepOptions {
   std::string checkpoint_dir{};
   std::size_t checkpoint_every = 0;
   bool resume = false;
+
+  /// In-flight fleet-image generations each trial retains (0/1 = single
+  /// image). A resume falls back to the newest generation that validates,
+  /// so one corrupt/torn image costs at most checkpoint_every rounds.
+  std::size_t keep_generations = 1;
 };
 
 struct SweepReport {

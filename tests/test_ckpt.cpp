@@ -629,6 +629,138 @@ TEST(SweepResume, SkipsCompletedTrialsAndKeepsCsvBytes) {
   EXPECT_EQ(reference_bytes, read_file(healed_csv));
 }
 
+TEST(SweepResume, QuarantinesCorruptResultsAndRecomputes) {
+  // Regression: a bit-flipped or truncated trial-store entry used to be
+  // indistinguishable from "missing" at best and fatal at worst. The
+  // runner must classify it kCorrupt, rename it aside as evidence, and
+  // recompute the trial — healing the summary to the reference bytes.
+  const std::string dir = temp_path("sweep_quarantine_dir");
+  std::filesystem::remove_all(dir);
+  sweep::SweepGrid grid = tiny_grid();
+  grid.gamma_trains = {1, 2};
+  grid.seeds = {1, 2};
+
+  sweep::SweepOptions options;
+  options.threads = 1;
+  options.checkpoint_dir = dir;
+  const sweep::SweepReport first = sweep::SweepRunner(options).run(grid);
+  ASSERT_TRUE(first.all_ok());
+  const std::string reference_csv = temp_path("sweep_quarantine_ref.csv");
+  first.write_csv(reference_csv);
+  const std::string reference_bytes = read_file(reference_csv);
+
+  // Flip a byte in the middle of trial 1's stored result (past the header,
+  // inside the CRC-protected payload) and truncate trial 2's to a prefix.
+  const std::string corrupt_path = ckpt::trial_file_base(dir, 1) + ".result";
+  std::string bytes = read_file(corrupt_path);
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[bytes.size() / 2] ^= static_cast<char>(0x40);
+  write_file(corrupt_path, bytes);
+  const std::string truncated_path =
+      ckpt::trial_file_base(dir, 2) + ".result";
+  const std::string whole = read_file(truncated_path);
+  write_file(truncated_path, whole.substr(0, whole.size() / 3));
+
+  options.resume = true;
+  const sweep::SweepReport resumed = sweep::SweepRunner(options).run(grid);
+  ASSERT_TRUE(resumed.all_ok());
+  EXPECT_EQ(resumed.resumed_trials, grid.trial_count() - 2);
+
+  // The damaged entries were moved aside, not deleted, and the recomputed
+  // results took their place on disk.
+  EXPECT_TRUE(std::filesystem::exists(corrupt_path + ".bad"));
+  EXPECT_TRUE(std::filesystem::exists(truncated_path + ".bad"));
+  EXPECT_TRUE(std::filesystem::exists(corrupt_path));
+  EXPECT_TRUE(std::filesystem::exists(truncated_path));
+
+  const std::string resumed_csv = temp_path("sweep_quarantine_resumed.csv");
+  resumed.write_csv(resumed_csv);
+  EXPECT_EQ(reference_bytes, read_file(resumed_csv));
+
+  // A second resume adopts the recomputed entries normally.
+  const sweep::SweepReport again = sweep::SweepRunner(options).run(grid);
+  ASSERT_TRUE(again.all_ok());
+  EXPECT_EQ(again.resumed_trials, grid.trial_count());
+}
+
+TEST(FleetImage, EverySingleBitFlipIsRejectedNeverFatal) {
+  // The exhaustive corruption matrix over a complete (tiny) fleet image:
+  // whichever bit rots on disk, probe and restore must throw a clean
+  // ckpt error — never crash, hang, or over-allocate. Section CRCs cover
+  // the whole file, so every flip is detectable.
+  Fixture fixture(2, 1);
+  const core::SkipTrainScheduler scheduler(2, 1);
+  sim::RoundEngine engine = fixture.make_engine(scheduler);
+  engine.run_rounds(2);
+  const std::string path = temp_path("bitflip_image.sktf");
+  ckpt::save_fleet_image(engine, path);
+  const std::string pristine = read_file(path);
+  ASSERT_FALSE(pristine.empty());
+
+  // One shared restore target: a failed restore may leave it partially
+  // overwritten, which the next iteration (and the final pristine
+  // restore) must tolerate anyway — that IS the crash-recovery contract.
+  sim::RoundEngine target = fixture.make_engine(scheduler);
+  std::size_t rejected = 0;
+  for (std::size_t bit = 0; bit < pristine.size() * 8; ++bit) {
+    std::string mutated = pristine;
+    mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    write_file(path, mutated);
+    bool threw = false;
+    try {
+      (void)ckpt::probe_fleet_image(path);
+      ckpt::restore_fleet_image(target, path);
+    } catch (const std::exception&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "bit " << bit << " of " << pristine.size() * 8;
+    if (threw) ++rejected;
+  }
+  EXPECT_EQ(rejected, pristine.size() * 8);
+
+  // The pristine bytes still restore — the loop never consumed them.
+  write_file(path, pristine);
+  ckpt::restore_fleet_image(target, path);
+  EXPECT_TRUE(
+      bytes_equal(engine.node_parameters(), target.node_parameters()));
+}
+
+TEST(TrialStore, EverySingleBitFlipIsRejectedNeverFatal) {
+  // Same matrix over a trial-store entry: every flip must classify as
+  // kStale (fingerprint drift) or kCorrupt (checksum/structure damage) —
+  // never kLoaded, never a crash.
+  const std::string dir = temp_path("trial_bitflip_dir");
+  std::filesystem::create_directories(dir);
+  sweep::SweepGrid grid = tiny_grid();
+  const sweep::TrialSpec spec = grid.expand().front();
+  sweep::TrialResult result;
+  result.spec = spec;
+  result.result.final_mean_accuracy = 0.625;
+  const std::string path = ckpt::trial_file_base(dir, 0) + ".result";
+  ckpt::write_trial_result(result, path);
+  const std::string pristine = read_file(path);
+  ASSERT_FALSE(pristine.empty());
+
+  for (std::size_t bit = 0; bit < pristine.size() * 8; ++bit) {
+    std::string mutated = pristine;
+    mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    write_file(path, mutated);
+    sweep::TrialResult loaded;
+    const ckpt::TrialLoadStatus status =
+        ckpt::load_trial_result_status(spec, path, loaded);
+    EXPECT_TRUE(status == ckpt::TrialLoadStatus::kStale ||
+                status == ckpt::TrialLoadStatus::kCorrupt)
+        << "bit " << bit << " classified "
+        << static_cast<int>(status);
+  }
+
+  write_file(path, pristine);
+  sweep::TrialResult loaded;
+  EXPECT_EQ(ckpt::load_trial_result_status(spec, path, loaded),
+            ckpt::TrialLoadStatus::kLoaded);
+  EXPECT_EQ(loaded.result.final_mean_accuracy, 0.625);
+}
+
 TEST(TrialStore, StaleOrMismatchedResultsForceRerun) {
   const std::string dir = temp_path("trial_store_dir");
   std::filesystem::create_directories(dir);
